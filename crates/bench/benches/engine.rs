@@ -1,0 +1,59 @@
+//! Criterion microbenches: the conversion engine's functional model.
+//!
+//! §5.3's feasibility argument is throughput: the engine must convert at
+//! least one element per channel-cycle. These benches measure the software
+//! model's element throughput and the comparator tree in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmt_engine::{convert_matrix, ComparatorTree, StripConverter};
+use nmt_formats::SparseMatrix;
+use nmt_matgen::{generators, GenKind, MatrixDesc};
+use std::hint::black_box;
+
+fn bench_comparator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_tree");
+    for &lanes in &[16usize, 64] {
+        let tree = ComparatorTree::new(lanes);
+        let coords: Vec<Option<u32>> = (0..lanes)
+            .map(|i| {
+                if i % 5 == 0 {
+                    None
+                } else {
+                    Some((i * 37 % 100) as u32)
+                }
+            })
+            .collect();
+        group.throughput(Throughput::Elements(lanes as u64));
+        group.bench_with_input(BenchmarkId::new("find_min", lanes), &coords, |b, cs| {
+            b.iter(|| black_box(tree.find_min(cs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csc_to_dcsr");
+    for &(n, density) in &[(1024usize, 0.01f64), (4096, 0.003)] {
+        let csr = generators::generate(&MatrixDesc::new(
+            "bench",
+            n,
+            GenKind::Uniform { density },
+            7,
+        ));
+        let csc = csr.to_csc();
+        group.throughput(Throughput::Elements(csc.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("convert_matrix_64x64", n), &csc, |b, m| {
+            b.iter(|| black_box(convert_matrix(m, 64, 64)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_strip", n), &csc, |b, m| {
+            b.iter(|| {
+                let mut conv = StripConverter::new(m, 0, 64);
+                black_box(conv.convert_strip(64))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparator, bench_conversion);
+criterion_main!(benches);

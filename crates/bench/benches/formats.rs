@@ -1,0 +1,59 @@
+//! Criterion microbenches: format construction and conversion throughput.
+//!
+//! §3.3 motivates *online* conversion partly by the offline
+//! format-transformation cost ("it often takes more time than the main
+//! SpMM kernel"); these benches quantify the host-side conversion costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmt_formats::{Csr, Dcsr, SparseMatrix, TiledCsr, TiledDcsr};
+use nmt_matgen::{generators, GenKind, MatrixDesc};
+use std::hint::black_box;
+
+fn test_matrix(n: usize, density: f64) -> Csr {
+    generators::generate(&MatrixDesc::new(
+        "bench",
+        n,
+        GenKind::Uniform { density },
+        42,
+    ))
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_conversion");
+    for &n in &[1024usize, 4096] {
+        let csr = test_matrix(n, 0.01);
+        let nnz = csr.nnz() as u64;
+        group.throughput(Throughput::Elements(nnz));
+
+        group.bench_with_input(BenchmarkId::new("csr_to_csc", n), &csr, |b, m| {
+            b.iter(|| black_box(m.to_csc()))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_to_dcsr", n), &csr, |b, m| {
+            b.iter(|| black_box(Dcsr::from_csr(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_to_tiled_csr64", n), &csr, |b, m| {
+            b.iter(|| black_box(TiledCsr::from_csr(m, 64).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_to_tiled_dcsr64", n), &csr, |b, m| {
+            b.iter(|| black_box(TiledDcsr::from_csr(m, 64, 64).unwrap()))
+        });
+        let coo = csr.to_coo();
+        group.bench_with_input(BenchmarkId::new("coo_to_csr", n), &coo, |b, m| {
+            b.iter(|| black_box(Csr::from_coo(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strip_analysis");
+    let csr = test_matrix(4096, 0.01);
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("strip_nonzero_fraction_w64", |b| {
+        b.iter(|| black_box(nmt_formats::strip_nonzero_row_fraction(&csr, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions, bench_strip_stats);
+criterion_main!(benches);

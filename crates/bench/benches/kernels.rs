@@ -1,0 +1,77 @@
+//! Criterion microbenches: host reference kernels and simulated kernels.
+//!
+//! The host benches measure real CPU SpMM throughput per format; the
+//! simulated benches measure the *simulator's* wall-clock cost (how fast
+//! experiments sweep), not GPU time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmt_formats::{Dcsr, SparseMatrix, TiledDcsr};
+use nmt_kernels::{bstat_tiled_dcsr_online, csrmm_row_per_warp, host};
+use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+use nmt_sim::{Gpu, GpuConfig};
+use std::hint::black_box;
+
+fn bench_host_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_spmm");
+    let n = 2048;
+    let k = 32;
+    let a = generators::generate(&MatrixDesc::new(
+        "bench",
+        n,
+        GenKind::Uniform { density: 0.005 },
+        11,
+    ));
+    let b = random_dense(n, k, 13);
+    let flops = 2 * a.nnz() as u64 * k as u64;
+    group.throughput(Throughput::Elements(flops));
+
+    group.bench_function(BenchmarkId::new("csr", n), |bch| {
+        bch.iter(|| black_box(host::spmm_csr(&a, &b)))
+    });
+    let csc = a.to_csc();
+    group.bench_function(BenchmarkId::new("csc", n), |bch| {
+        bch.iter(|| black_box(host::spmm_csc(&csc, &b)))
+    });
+    let dcsr = Dcsr::from_csr(&a);
+    group.bench_function(BenchmarkId::new("dcsr", n), |bch| {
+        bch.iter(|| black_box(host::spmm_dcsr(&dcsr, &b)))
+    });
+    let tiled = TiledDcsr::from_csr(&a, 64, 64).unwrap();
+    group.bench_function(BenchmarkId::new("tiled_dcsr", n), |bch| {
+        bch.iter(|| black_box(host::spmm_tiled_dcsr(&tiled, &b)))
+    });
+    group.finish();
+}
+
+fn bench_simulated_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_spmm");
+    group.sample_size(10);
+    let n = 1024;
+    let k = 32;
+    let a = generators::generate(&MatrixDesc::new(
+        "bench",
+        n,
+        GenKind::Uniform { density: 0.005 },
+        17,
+    ));
+    let b = random_dense(n, k, 19);
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+
+    group.bench_function("baseline_csr_row_per_warp", |bch| {
+        bch.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            black_box(csrmm_row_per_warp(&mut gpu, &a, &b).unwrap())
+        })
+    });
+    let csc = a.to_csc();
+    group.bench_function("online_tiled_dcsr", |bch| {
+        bch.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
+            black_box(bstat_tiled_dcsr_online(&mut gpu, &csc, &b, 16, 16).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_host_kernels, bench_simulated_kernels);
+criterion_main!(benches);

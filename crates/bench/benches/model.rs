@@ -1,0 +1,67 @@
+//! Criterion microbenches: the analytical models and the SSF profiler.
+//!
+//! The paper argues SSF profiling can be amortized/sampled (§3.1.4); this
+//! quantifies the full-scan cost of profiling a matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmt_formats::SparseMatrix;
+use nmt_matgen::{generators, GenKind, MatrixDesc};
+use nmt_model::ssf::SsfProfile;
+use nmt_model::{learn_threshold, normalized_entropy, TrafficModel};
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssf_profiling");
+    for &n in &[1024usize, 4096] {
+        let a = generators::generate(&MatrixDesc::new(
+            "bench",
+            n,
+            GenKind::ZipfRows {
+                density: 0.005,
+                exponent: 1.1,
+            },
+            23,
+        ));
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("ssf_profile_w64", n), &a, |b, m| {
+            b.iter(|| black_box(SsfProfile::compute(m, 64)))
+        });
+        group.bench_with_input(BenchmarkId::new("entropy_w64", n), &a, |b, m| {
+            b.iter(|| black_box(normalized_entropy(m, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_learning(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (0..4000)
+        .map(|i| {
+            let ssf = (i as f64 + 1.0) * 10.0;
+            let ratio = if ssf > 20_000.0 { 2.0 } else { 0.5 };
+            (ssf, ratio)
+        })
+        .collect();
+    c.bench_function("learn_threshold_4000pts", |b| {
+        b.iter(|| black_box(learn_threshold(&points)))
+    });
+}
+
+fn bench_traffic_model(c: &mut Criterion) {
+    let a = generators::generate(&MatrixDesc::new(
+        "bench",
+        2048,
+        GenKind::Uniform { density: 0.01 },
+        29,
+    ));
+    c.bench_function("traffic_model_measure", |b| {
+        b.iter(|| black_box(TrafficModel::measure(&a, 64)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_profiling,
+    bench_threshold_learning,
+    bench_traffic_model
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: permutation robustness of the SSF heuristic.
+//!
+//! SSF claims to measure *structure*, so hold the non-zero population
+//! fixed and perturb only the structure: shuffling rows preserves row
+//! segments (SSF and the B/C-stationary ranking should survive), while
+//! shuffling columns shatters them (SSF must collapse and the performance
+//! ranking must flip with it). This ties the heuristic's input directly
+//! to the mechanism that makes B-stationary win.
+
+use nmt_bench::{banner, experiment_gpu, experiment_scale, print_table};
+use nmt_formats::{Csr, Dcsr, SparseMatrix};
+use nmt_kernels::{bstat_tiled_dcsr_online, dcsrmm_row_per_warp};
+use nmt_matgen::{generators, perturb, random_dense, GenKind, MatrixDesc};
+use nmt_model::ssf::SsfProfile;
+use nmt_sim::Gpu;
+
+fn profile_and_time(a: &Csr, tile: usize, k: usize) -> (f64, f64, f64) {
+    let scale = experiment_scale();
+    let p = SsfProfile::compute(a, tile);
+    let b = random_dense(a.shape().ncols, k, 77);
+    let mut g1 = Gpu::new(experiment_gpu(scale)).expect("preset");
+    let tc = dcsrmm_row_per_warp(&mut g1, &Dcsr::from_csr(a), &b)
+        .expect("cstat")
+        .stats
+        .total_ns;
+    let mut g2 = Gpu::new(experiment_gpu(scale)).expect("preset");
+    let tb = bstat_tiled_dcsr_online(&mut g2, &a.to_csc(), &b, tile, tile)
+        .expect("online")
+        .run
+        .stats
+        .total_ns;
+    (p.ssf, p.h_norm, tc / tb)
+}
+
+fn main() {
+    banner(
+        "ablate_permutation",
+        "robustness: SSF under structural perturbation",
+    );
+    let tile = 16;
+    let k = 32;
+    let base = generators::generate(&MatrixDesc::new(
+        "rowburst",
+        1024,
+        GenKind::RowBursts {
+            density: 0.01,
+            burst_len: 16,
+        },
+        41,
+    ));
+
+    let variants: Vec<(&str, Csr)> = vec![
+        ("original (clustered)", base.clone()),
+        ("rows shuffled", perturb::shuffle_rows(&base, 1)),
+        ("cols shuffled", perturb::shuffle_cols(&base, 2)),
+        ("fully scattered", perturb::scatter(&base, 3)),
+        ("pruned to 50%", perturb::prune_magnitude(&base, 0.5)),
+        ("plus 0.5% noise", perturb::add_background(&base, 0.005, 4)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, m) in &variants {
+        let (ssf, h, ratio) = profile_and_time(m, tile, k);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", m.nnz()),
+            format!("{h:.3}"),
+            format!("{ssf:.3e}"),
+            format!("{ratio:.2}"),
+            if ratio > 1.0 { "B-stat" } else { "C-stat" }.into(),
+        ]);
+    }
+    print_table(
+        &["variant", "nnz", "H_norm", "SSF", "t_C/t_B", "winner"],
+        &rows,
+    );
+    println!();
+    println!("expected: row shuffle leaves SSF and the winner unchanged; column");
+    println!("shuffle (same nnz!) collapses SSF by an order of magnitude and the");
+    println!("winner flips to C-stationary — the heuristic tracks exactly the");
+    println!("structure that the engine's tiling exploits.");
+}

@@ -1,0 +1,84 @@
+//! Ablation: tile size. The paper fixes 64×64 B tiles "to fully utilize
+//! the shared memory of an SM" (§5.1) — and the engine's width is fixed at
+//! 64 lanes to match one HBM2 pseudo-channel. This sweep shows how the
+//! online B-stationary kernel responds to the tile edge: small tiles
+//! multiply per-tile overheads (requests, rowptr windows, atomic rounds);
+//! oversized tiles exhaust shared memory.
+
+use nmt_bench::{banner, experiment_gpu, experiment_scale, geomean, print_table};
+use nmt_formats::SparseMatrix;
+use nmt_kernels::{bstat_tiled_dcsr_online, csrmm_cusparse};
+use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+use nmt_sim::Gpu;
+
+fn main() {
+    banner(
+        "ablate_tile_size",
+        "design choice: 64x64 tiles (section 5.1)",
+    );
+    let scale = experiment_scale();
+    let k = 32;
+    let matrices: Vec<_> = [
+        (
+            "rowburst",
+            GenKind::RowBursts {
+                density: 0.01,
+                burst_len: 16,
+            },
+        ),
+        (
+            "blockdiag",
+            GenKind::BlockDiag {
+                block: 32,
+                fill: 0.3,
+                background: 1e-4,
+            },
+        ),
+        (
+            "zipfboth",
+            GenKind::ZipfBoth {
+                density: 0.01,
+                exponent: 1.1,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(|(name, kind)| {
+        (
+            name,
+            generators::generate(&MatrixDesc::new(name, 1024, kind, 3)),
+        )
+    })
+    .collect();
+
+    let mut rows = Vec::new();
+    for &tile in &[8usize, 16, 32, 64] {
+        let mut speeds = Vec::new();
+        let mut cells = vec![format!("{tile}x{tile}")];
+        for (_, a) in &matrices {
+            let b = random_dense(a.shape().ncols, k, 5);
+            let mut g1 = Gpu::new(experiment_gpu(scale)).expect("preset");
+            let base = csrmm_cusparse(&mut g1, a, &b)
+                .expect("baseline")
+                .stats
+                .total_ns;
+            let mut g2 = Gpu::new(experiment_gpu(scale)).expect("preset");
+            let online = bstat_tiled_dcsr_online(&mut g2, &a.to_csc(), &b, tile, tile)
+                .expect("online kernel");
+            let sp = base / online.run.stats.total_ns;
+            speeds.push(sp);
+            cells.push(format!("{sp:.2}x"));
+        }
+        cells.push(format!("{:.2}x", geomean(&speeds)));
+        rows.push(cells);
+    }
+    let mut headers = vec!["tile"];
+    headers.extend(matrices.iter().map(|(n, _)| *n));
+    headers.push("geomean");
+    print_table(&headers, &rows);
+    println!();
+    println!("expected: speedup improves with tile edge up to the shared-memory");
+    println!("sweet spot; the engine is built 64 wide because one HBM2 pseudo");
+    println!("channel delivers one 8-byte element per 0.588 ns — a 64-lane");
+    println!("frontier keeps the comparator fed at exactly that rate.");
+}

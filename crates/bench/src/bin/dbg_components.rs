@@ -1,0 +1,74 @@
+//! Developer diagnostic: per-kernel time components for one matrix.
+//! Not part of the paper reproduction; kept for tuning the timing model.
+
+use nmt_bench::{experiment_gpu, experiment_k, experiment_scale, experiment_tile};
+use nmt_formats::{Dcsr, SparseMatrix, TiledDcsr};
+use nmt_kernels::{
+    bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online, csrmm_row_per_warp, dcsrmm_row_per_warp,
+};
+use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+use nmt_sim::{Gpu, TrafficClass};
+
+fn show(name: &str, s: &nmt_sim::KernelStats) {
+    println!(
+        "{name:22} total {:>12.0}ns  comp {:>12.0}  mem {:>12.0}  lat {:>12.0}  atomics {:>8}  dramA {:>10}  dramB {:>10}  dramC {:>10}  l2hit {:.2}",
+        s.total_ns, s.t_compute_ns, s.t_memory_ns, s.t_latency_ns, s.atomics,
+        s.dram_traffic.get(TrafficClass::MatA),
+        s.dram_traffic.get(TrafficClass::MatB),
+        s.dram_traffic.get(TrafficClass::MatC),
+        s.l2_hit_rate(),
+    );
+}
+
+fn main() {
+    let scale = experiment_scale();
+    let tile = experiment_tile(scale);
+    let k = experiment_k(scale);
+    let kinds: Vec<(&str, GenKind)> = vec![
+        (
+            "banded",
+            GenKind::Banded {
+                bandwidth: 10,
+                fill: 0.5,
+            },
+        ),
+        (
+            "rowburst",
+            GenKind::RowBursts {
+                density: 0.01,
+                burst_len: 16,
+            },
+        ),
+        (
+            "rowburst_dense",
+            GenKind::RowBursts {
+                density: 0.03,
+                burst_len: 32,
+            },
+        ),
+        ("uniform", GenKind::Uniform { density: 0.01 }),
+        (
+            "zipf",
+            GenKind::ZipfRows {
+                density: 0.01,
+                exponent: 1.4,
+            },
+        ),
+    ];
+    for (label, kind) in kinds {
+        let n = 1024;
+        let a = generators::generate(&MatrixDesc::new(label, n, kind, 3));
+        let b = random_dense(n, k, 5);
+        println!("--- {label} n={n} nnz={} tile={tile} K={k} ---", a.nnz());
+        let gpu = || Gpu::new(experiment_gpu(scale)).expect("preset");
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).unwrap();
+        show("baseline csr", &r.stats);
+        let r = dcsrmm_row_per_warp(&mut gpu(), &Dcsr::from_csr(&a), &b).unwrap();
+        show("cstat dcsr", &r.stats);
+        let tiled = TiledDcsr::from_csr(&a, tile, tile).unwrap();
+        let r = bstat_tiled_dcsr_offline(&mut gpu(), &tiled, &b).unwrap();
+        show("bstat offline", &r.stats);
+        let r = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, tile, tile).unwrap();
+        show("bstat online", &r.run.stats);
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 16 — speedup over cuSPARSE vs. the SSF heuristic; the paper's
+//! headline result.
+//!
+//! Per matrix: the baseline (cuSPARSE stand-in), the offline untiled
+//! CSR/DCSR C-stationary upper bound (orange dots), the online-tiled DCSR
+//! B-stationary proposal (blue dots), and offline-tiled DCSR. Aggregates:
+//!
+//! * all-tiling (blind CSC + engine)         — paper: 1.63×
+//! * offline tiled DCSR + SSF                — paper: 2.03× (optimistic)
+//! * **hybrid: SSF picks C-stat / online B** — paper: 2.26×
+//! * oracle (perfect classification)         — paper: 2.30×
+
+use nmt_bench::{
+    banner, build_suite, experiment_k, experiment_scale, experiment_tile, geomean, par_map_suite,
+    print_table,
+};
+use nmt_formats::{Dcsr, SparseMatrix, TiledDcsr};
+use nmt_kernels::{
+    bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online, csrmm_cusparse, csrmm_row_per_warp,
+    dcsrmm_row_per_warp,
+};
+use nmt_matgen::random_dense;
+use nmt_model::ssf::SsfProfile;
+use nmt_model::{classify, learn_threshold, ssf::Choice};
+use nmt_sim::Gpu;
+
+struct Row {
+    name: String,
+    ssf: f64,
+    sp_cstat: f64,
+    sp_online: f64,
+    sp_offline_tiled: f64,
+}
+
+fn main() {
+    banner(
+        "fig16_speedup",
+        "Figure 16: speedup over cuSPARSE vs SSF (hybrid 2.26x)",
+    );
+    let suite = build_suite();
+    let scale = experiment_scale();
+    let tile = experiment_tile(scale);
+    let k = experiment_k(scale);
+
+    let results: Vec<Row> = par_map_suite(&suite, |desc, a| {
+        let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
+        let profile = SsfProfile::compute(a, tile);
+        let gpu = || Gpu::new(nmt_bench::experiment_gpu(experiment_scale())).expect("preset");
+
+        let base = csrmm_cusparse(&mut gpu(), a, &b)
+            .expect("baseline")
+            .stats
+            .total_ns;
+        let t_csr = csrmm_row_per_warp(&mut gpu(), a, &b)
+            .expect("csr")
+            .stats
+            .total_ns;
+        let t_dcsr = dcsrmm_row_per_warp(&mut gpu(), &Dcsr::from_csr(a), &b)
+            .expect("dcsr")
+            .stats
+            .total_ns;
+        // "We plot the better results from CSR and DCSR to show its
+        // upperbound for each matrix" (orange dots).
+        let t_cstat = t_csr.min(t_dcsr);
+        let t_online = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, tile, tile)
+            .expect("online")
+            .run
+            .stats
+            .total_ns;
+        let tiled = TiledDcsr::from_csr(a, tile, tile).expect("tiling");
+        let t_offline = bstat_tiled_dcsr_offline(&mut gpu(), &tiled, &b)
+            .expect("offline")
+            .stats
+            .total_ns;
+        Row {
+            name: desc.name.clone(),
+            ssf: profile.ssf,
+            sp_cstat: base / t_cstat,
+            sp_online: base / t_online,
+            sp_offline_tiled: base / t_offline,
+        }
+    });
+
+    let mut table: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3e}", r.ssf),
+                format!("{:.2}x", r.sp_cstat),
+                format!("{:.2}x", r.sp_online),
+                format!("{:.2}x", r.sp_offline_tiled),
+            ]
+        })
+        .collect();
+    table.sort_by(|a, b| {
+        let av: f64 = a[1].parse().unwrap_or(0.0);
+        let bv: f64 = b[1].parse().unwrap_or(0.0);
+        av.partial_cmp(&bv).expect("finite SSF")
+    });
+    print_table(
+        &[
+            "matrix",
+            "SSF",
+            "C-stat (CSR/DCSR)",
+            "online tiled (B)",
+            "offline tiled (B)",
+        ],
+        &table,
+    );
+
+    // Learn the threshold from the measured ratios (t_C/t_B = sp_online/sp_cstat).
+    let samples: Vec<(f64, f64)> = results
+        .iter()
+        .map(|r| (r.ssf, r.sp_online / r.sp_cstat))
+        .collect();
+    let th = learn_threshold(&samples);
+
+    let hybrid: Vec<f64> = results
+        .iter()
+        .map(|r| match classify(r.ssf, &th) {
+            Choice::BStationary => r.sp_online,
+            Choice::CStationary => r.sp_cstat,
+        })
+        .collect();
+    let hybrid_offline: Vec<f64> = results
+        .iter()
+        .map(|r| match classify(r.ssf, &th) {
+            Choice::BStationary => r.sp_offline_tiled,
+            Choice::CStationary => r.sp_cstat,
+        })
+        .collect();
+    let all_tiling: Vec<f64> = results.iter().map(|r| r.sp_online).collect();
+    let oracle: Vec<f64> = results
+        .iter()
+        .map(|r| r.sp_cstat.max(r.sp_online))
+        .collect();
+    let improved = hybrid.iter().filter(|&&s| s > 1.0).count() as f64 / hybrid.len().max(1) as f64;
+
+    println!();
+    println!(
+        "learned SSF_th                         : {:.3e} (accuracy {:.1}%)",
+        th.threshold,
+        th.accuracy * 100.0
+    );
+    println!(
+        "all-tiling (blind CSC+engine)  geomean : {:.2}x   (paper 1.63x)",
+        geomean(&all_tiling)
+    );
+    println!(
+        "offline tiled DCSR + SSF       geomean : {:.2}x   (paper 2.03x)",
+        geomean(&hybrid_offline)
+    );
+    println!(
+        "HYBRID (SSF: C-stat | online)  geomean : {:.2}x   (paper 2.26x)",
+        geomean(&hybrid)
+    );
+    println!(
+        "oracle (perfect classifier)    geomean : {:.2}x   (paper 2.30x)",
+        geomean(&oracle)
+    );
+    println!(
+        "matrices improved by the scheme        : {:.0}%  (paper ~95%)",
+        improved * 100.0
+    );
+}

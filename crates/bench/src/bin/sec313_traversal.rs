@@ -1,0 +1,105 @@
+//! §3.1.3 — tile traversal strategies. "Because of the difference in the
+//! memory footprint of A and C, the column-major traversal usually gives
+//! better performance": traversing B tiles column-major lets partial sums
+//! of one C column slice accumulate in the LLC before moving on, while
+//! row-major touches the entire C once per strip.
+
+use nmt_bench::{banner, experiment_gpu, experiment_scale, mean, print_table};
+use nmt_formats::{SparseMatrix, TiledDcsr};
+use nmt_kernels::{bstat_tiled_dcsr_traversal, Traversal};
+use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+use nmt_sim::{Gpu, TrafficClass};
+
+fn main() {
+    banner(
+        "sec313_traversal",
+        "section 3.1.3: row- vs column-major B-tile traversal",
+    );
+    let scale = experiment_scale();
+    let tile = 16;
+    let k = 64; // 4 output-column tiles -> a real traversal grid
+    let matrices: Vec<_> = [
+        ("uniform", GenKind::Uniform { density: 0.02 }),
+        (
+            "rowburst",
+            GenKind::RowBursts {
+                density: 0.02,
+                burst_len: 16,
+            },
+        ),
+        (
+            "zipfboth",
+            GenKind::ZipfBoth {
+                density: 0.02,
+                exponent: 1.1,
+            },
+        ),
+        (
+            "blockdiag",
+            GenKind::BlockDiag {
+                block: 32,
+                fill: 0.3,
+                background: 1e-4,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(|(name, kind)| {
+        (
+            name,
+            generators::generate(&MatrixDesc::new(name, 1024, kind, 31)),
+        )
+    })
+    .collect();
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (name, a) in &matrices {
+        let tiled = TiledDcsr::from_csr(a, tile, tile).expect("tiling");
+        let b = random_dense(a.shape().ncols, k, 33);
+        let mut g1 = Gpu::new(experiment_gpu(scale)).expect("preset");
+        let row = bstat_tiled_dcsr_traversal(&mut g1, &tiled, &b, Traversal::RowMajor)
+            .expect("row-major");
+        let mut g2 = Gpu::new(experiment_gpu(scale)).expect("preset");
+        let col = bstat_tiled_dcsr_traversal(&mut g2, &tiled, &b, Traversal::ColumnMajor)
+            .expect("column-major");
+        let ratio = row.stats.total_ns / col.stats.total_ns;
+        ratios.push(ratio);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", row.stats.dram_traffic.get(TrafficClass::MatA) / 1024),
+            format!("{}", col.stats.dram_traffic.get(TrafficClass::MatA) / 1024),
+            format!("{}", row.stats.dram_traffic.get(TrafficClass::MatC) / 1024),
+            format!("{}", col.stats.dram_traffic.get(TrafficClass::MatC) / 1024),
+            format!("{:.0}", row.stats.total_ns),
+            format!("{:.0}", col.stats.total_ns),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    print_table(
+        &[
+            "matrix",
+            "rowmaj A KB",
+            "colmaj A KB",
+            "rowmaj C KB",
+            "colmaj C KB",
+            "t_rowmaj ns",
+            "t_colmaj ns",
+            "row/col",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "mean row-major/column-major time ratio: {:.2}x",
+        mean(&ratios)
+    );
+    println!("the trade-off of §3.1.3, both sides: row-major \"can possibly capture");
+    println!("the locality of A in LLC\" (lower row-major A traffic above), but");
+    println!("\"touching entire C multiple times is rather expensive\" (lower");
+    println!("column-major C traffic for scatter-heavy matrices). Column-major");
+    println!("wins where C dominates (uniform/zipf); with tiny touched-C and");
+    println!("re-read A (clustered), A locality flips the result — the paper's");
+    println!("\"usually\" is a statement about SuiteSparse's balance, where C is");
+    println!("n x n and always dwarfs A.");
+}

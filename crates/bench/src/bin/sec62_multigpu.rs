@@ -1,0 +1,68 @@
+//! §6.2 / Figure 18 — large-scale SpMM in a multi-GPU system.
+//!
+//! Plans the paper's 2M × 2M example: A (CSC) replicated per GPU, vertical
+//! B/C strips streamed through device memory with transfer/compute
+//! overlap, scaling from 1 to 16 GPUs.
+
+use nmt::multi_gpu::{plan_streamed_spmm, LargeSpmmProblem, MultiGpuConfig};
+use nmt_bench::{banner, print_table};
+
+fn main() {
+    banner(
+        "sec62_multigpu",
+        "Section 6.2: towards large-scale SpMM (multi-GPU streaming)",
+    );
+
+    let p = LargeSpmmProblem {
+        n: 2_000_000,
+        k: 2_000_000,
+        nnz: 40_000_000,
+    };
+    println!(
+        "problem: A {}x{} with {} nnz ({:.2} GB as CSC); dense B = C = {:.1} TB each",
+        p.n,
+        p.n,
+        p.nnz,
+        p.a_csc_bytes() as f64 / 1e9,
+        p.dense_bytes() as f64 / 1e12
+    );
+    println!("paper: \"2M x 2M dense matrix is as large as 17 TB, and the entire");
+    println!("matrix cannot fit in the GPU main memory\"");
+    println!();
+
+    let mut rows = Vec::new();
+    for gpus in [1usize, 2, 4, 8, 16] {
+        let sys = MultiGpuConfig::gv100_cluster(gpus);
+        match plan_streamed_spmm(&p, &sys) {
+            Ok(plan) => rows.push(vec![
+                format!("{gpus}"),
+                format!("{}", plan.cols_per_gpu),
+                format!("{}", plan.chunks_per_gpu),
+                format!("{:.1} GB", plan.stream_bytes_per_gpu as f64 / 1e9),
+                format!("{:.1} s", plan.transfer_s),
+                format!("{:.1} s", plan.compute_s),
+                format!("{:.1} s", plan.overlapped_s),
+                format!("{}", plan.compute_hides_transfer),
+            ]),
+            Err(e) => rows.push(vec![format!("{gpus}"), format!("error: {e}")]),
+        }
+    }
+    print_table(
+        &[
+            "GPUs",
+            "cols/GPU",
+            "chunks",
+            "streamed",
+            "transfer",
+            "compute",
+            "overlapped",
+            "compute-bound",
+        ],
+        &rows,
+    );
+    println!();
+    println!("the CSC input (engine's baseline format) keeps the replicated A tiny,");
+    println!("leaving device memory for B/C strips — \"the space efficient CSR/CSC");
+    println!("format is beneficial in this context\" — and DCSR tiles are minted");
+    println!("inside each GPU's FB partitions, so no tiled metadata crosses links.");
+}

@@ -1,0 +1,107 @@
+//! Table 1 — compulsory memory traffic of the A-/B-/C-stationary
+//! dataflows, analytical model vs. simulator-measured requested traffic.
+
+use nmt_bench::{banner, experiment_k, experiment_scale, experiment_tile, print_table};
+use nmt_formats::{SparseMatrix, TiledCsr, TiledDcsr};
+use nmt_kernels::{astat_tiled, bstat_tiled_dcsr_offline, csrmm_row_per_warp};
+use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+use nmt_model::{Dataflow, TrafficModel};
+use nmt_sim::{Gpu, TrafficClass};
+
+fn main() {
+    banner(
+        "table1_traffic",
+        "Table 1: compulsory memory traffic comparison",
+    );
+    let scale = experiment_scale();
+    let tile = experiment_tile(scale);
+    let k = experiment_k(scale);
+    let dims: &[usize] = match scale {
+        nmt_matgen::SuiteScale::Small => &[512, 1024],
+        nmt_matgen::SuiteScale::Medium => &[1024, 2048],
+        nmt_matgen::SuiteScale::Paper => &[4096, 8192],
+    };
+
+    println!("\n--- analytical model (uniform density, bytes, B/C as n x n) ---");
+    let mut rows = Vec::new();
+    for &n in dims {
+        for &d in &[0.001f64, 0.01] {
+            let m = TrafficModel::uniform(n, tile, d);
+            for df in Dataflow::ALL {
+                let e = m.estimate(df);
+                rows.push(vec![
+                    format!("{n}"),
+                    format!("{d}"),
+                    format!("{df:?}"),
+                    format!("{:.2e}", e.a_bytes),
+                    format!("{:.2e}", e.b_bytes),
+                    format!("{:.2e}", e.c_bytes),
+                    format!("{:.2e}", e.total()),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &[
+            "n", "density", "dataflow", "A bytes", "B bytes", "C bytes", "total",
+        ],
+        &rows,
+    );
+
+    println!("\n--- simulator-measured requested traffic (K = {k} vectors) ---");
+    let mut rows = Vec::new();
+    for &n in dims {
+        let desc = MatrixDesc::new("t1", n, GenKind::Uniform { density: 0.005 }, 3);
+        let a = generators::generate(&desc);
+        let b = random_dense(n, k, 5);
+        let runs: Vec<(&str, nmt_sim::KernelStats, u64)> = {
+            let mut out = Vec::new();
+            let mut gpu =
+                Gpu::new(nmt_bench::experiment_gpu(experiment_scale())).expect("valid preset");
+            let r = astat_tiled(&mut gpu, &a, &b, tile).expect("astat runs");
+            out.push(("A-stationary", r.stats.clone(), r.stats.atomics));
+            let mut gpu =
+                Gpu::new(nmt_bench::experiment_gpu(experiment_scale())).expect("valid preset");
+            let tiled = TiledDcsr::from_csr(&a, tile, tile).expect("tiling");
+            let r = bstat_tiled_dcsr_offline(&mut gpu, &tiled, &b).expect("bstat runs");
+            out.push(("B-stationary", r.stats.clone(), r.stats.atomics));
+            let mut gpu =
+                Gpu::new(nmt_bench::experiment_gpu(experiment_scale())).expect("valid preset");
+            let r = csrmm_row_per_warp(&mut gpu, &a, &b).expect("cstat runs");
+            out.push(("C-stationary", r.stats.clone(), r.stats.atomics));
+            out
+        };
+        for (name, stats, atomics) in runs {
+            rows.push(vec![
+                format!("{n}"),
+                name.into(),
+                format!(
+                    "{:.2e}",
+                    stats.requested_traffic.get(TrafficClass::MatA) as f64
+                ),
+                format!(
+                    "{:.2e}",
+                    stats.requested_traffic.get(TrafficClass::MatB) as f64
+                ),
+                format!(
+                    "{:.2e}",
+                    stats.requested_traffic.get(TrafficClass::MatC) as f64
+                ),
+                format!("{atomics}"),
+                format!("{:.0}", stats.total_ns),
+            ]);
+        }
+        let _ = TiledCsr::from_csr(&a, tile); // ensure tiled CSR also builds at this scale
+        let _ = a.nnz();
+    }
+    print_table(
+        &[
+            "n", "dataflow", "A req B", "B req B", "C req B", "atomics", "time ns",
+        ],
+        &rows,
+    );
+    println!();
+    println!("expected shape (Table 1 / §3.1): A-stationary maximizes B+C traffic;");
+    println!("B-stationary fetches B once but pays atomics on C; C-stationary");
+    println!("fetches B per non-zero but writes C once with no atomics.");
+}

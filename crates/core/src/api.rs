@@ -1,0 +1,364 @@
+//! The online conversion API of Figure 11: `GetDCSRTile`.
+//!
+//! On real hardware the intrinsic compiles into a message carrying the
+//! current column frontier and the CSC/DCSR pointers; the FB partition's
+//! conversion unit queues requests and processes them "in the order of
+//! arrival". This module models that queueing layer: per-partition FIFOs,
+//! strip→partition routing via the §6.1 layout, and stateful converters
+//! that persist across sequential tile requests on the same strip.
+
+use nmt_engine::placement::Layout;
+use nmt_engine::{ConversionStats, StripConverter};
+use nmt_formats::{Csc, DcsrTile, SparseMatrix};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One `GetDCSRTile` request (the arguments of Figure 11 that matter to
+/// the queueing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetDcsrTileRequest {
+    /// Which vertical strip of A.
+    pub strip_id: usize,
+    /// First row of the requested tile.
+    pub row_start: u32,
+    /// Requesting SM (responses stream back to its shared memory).
+    pub sm_id: usize,
+}
+
+/// A completed conversion: the tile plus its destination SM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResponse {
+    /// The request this answers.
+    pub request: GetDcsrTileRequest,
+    /// The freshly converted tile.
+    pub tile: DcsrTile,
+}
+
+/// A served request with its queueing-model timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedTileResponse {
+    /// The converted tile and its request.
+    pub response: TileResponse,
+    /// Partition whose unit served it.
+    pub partition: usize,
+    /// Completion time relative to drain start, in nanoseconds.
+    pub completed_at_ns: f64,
+}
+
+/// Per-FB-partition request queues in front of the conversion units.
+pub struct ConversionQueue<'a> {
+    csc: &'a Csc,
+    tile_w: usize,
+    tile_h: usize,
+    layout: Layout,
+    num_partitions: usize,
+    queues: Vec<VecDeque<GetDcsrTileRequest>>,
+    /// Live converters keyed by strip (state survives across tiles —
+    /// the stateful frontier that makes sequential access free).
+    converters: HashMap<usize, StripConverter<'a>>,
+    /// Tracks each converter's expected next sequential row.
+    next_row: HashMap<usize, u32>,
+}
+
+impl<'a> ConversionQueue<'a> {
+    /// Build queues over `num_partitions` FB partitions.
+    pub fn new(
+        csc: &'a Csc,
+        tile_w: usize,
+        tile_h: usize,
+        layout: Layout,
+        num_partitions: usize,
+    ) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        Self {
+            csc,
+            tile_w,
+            tile_h,
+            layout,
+            num_partitions,
+            queues: (0..num_partitions).map(|_| VecDeque::new()).collect(),
+            converters: HashMap::new(),
+            next_row: HashMap::new(),
+        }
+    }
+
+    /// The partition whose conversion unit will serve this request.
+    pub fn partition_for(&self, req: &GetDcsrTileRequest) -> usize {
+        let tile_index = req.row_start as usize / self.tile_h;
+        self.layout
+            .partition_of(req.strip_id, tile_index, self.num_partitions)
+    }
+
+    /// Enqueue a request ("queued and processed in the order of arrival").
+    pub fn submit(&mut self, req: GetDcsrTileRequest) {
+        let p = self.partition_for(&req);
+        self.queues[p].push_back(req);
+    }
+
+    /// Requests waiting at partition `p`.
+    pub fn pending(&self, p: usize) -> usize {
+        self.queues[p].len()
+    }
+
+    /// Drain every queue round-robin (partitions work in parallel on real
+    /// hardware; order within a partition is FIFO). Returns the responses
+    /// in completion order.
+    pub fn drain(&mut self) -> Vec<TileResponse> {
+        let mut out = Vec::new();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for p in 0..self.num_partitions {
+                if let Some(req) = self.queues[p].pop_front() {
+                    out.push(self.serve(req));
+                    progressed = true;
+                }
+            }
+        }
+        out
+    }
+
+    fn serve(&mut self, req: GetDcsrTileRequest) -> TileResponse {
+        let csc = self.csc;
+        let tile_w = self.tile_w;
+        let conv = self
+            .converters
+            .entry(req.strip_id)
+            .or_insert_with(|| StripConverter::new(csc, req.strip_id, tile_w));
+        // Sequential requests reuse the live frontier; random ones seek.
+        let expected = self.next_row.get(&req.strip_id).copied().unwrap_or(0);
+        if req.row_start != expected {
+            conv.seek(req.row_start);
+        }
+        let tile = conv.next_tile(req.row_start, self.tile_h);
+        self.next_row
+            .insert(req.strip_id, req.row_start + self.tile_h as u32);
+        TileResponse { request: req, tile }
+    }
+
+    /// Drain with timing: each partition's conversion unit is a serial
+    /// server processing its FIFO in arrival order at the engine's
+    /// pipelined rate, all partitions in parallel. Returns the responses
+    /// (with completion timestamps) and the per-partition busy times —
+    /// the queueing view of §6.1's camping problem: under the naive
+    /// layout one partition's server does all the work while the others
+    /// idle, and the makespan is its busy time.
+    pub fn drain_timed(
+        &mut self,
+        timing: &nmt_engine::EngineTiming,
+    ) -> (Vec<TimedTileResponse>, Vec<f64>) {
+        let mut busy_ns = vec![0.0f64; self.num_partitions];
+        let mut out = Vec::new();
+        #[allow(clippy::needless_range_loop)] // p is both queue index and label
+        for p in 0..self.num_partitions {
+            while let Some(req) = self.queues[p].pop_front() {
+                let before = self
+                    .converters
+                    .get(&req.strip_id)
+                    .map(|c| c.stats())
+                    .unwrap_or_default();
+                let resp = self.serve(req);
+                let after = self.converters[&req.strip_id].stats();
+                let delta = ConversionStats {
+                    comparator_passes: after.comparator_passes - before.comparator_passes,
+                    elements: after.elements - before.elements,
+                    rows_emitted: after.rows_emitted - before.rows_emitted,
+                    tiles: after.tiles - before.tiles,
+                    input_bytes: after.input_bytes - before.input_bytes,
+                    output_bytes: after.output_bytes - before.output_bytes,
+                };
+                busy_ns[p] += timing.conversion_time_ns(&delta);
+                out.push(TimedTileResponse {
+                    response: resp,
+                    partition: p,
+                    completed_at_ns: busy_ns[p],
+                });
+            }
+        }
+        (out, busy_ns)
+    }
+
+    /// Total engine activity across all live converters.
+    pub fn stats(&self) -> ConversionStats {
+        let mut total = ConversionStats::default();
+        for conv in self.converters.values() {
+            let s = conv.stats();
+            total.comparator_passes += s.comparator_passes;
+            total.elements += s.elements;
+            total.rows_emitted += s.rows_emitted;
+            total.tiles += s.tiles;
+            total.input_bytes += s.input_bytes;
+            total.output_bytes += s.output_bytes;
+        }
+        total
+    }
+
+    /// Number of strips in the underlying matrix.
+    pub fn num_strips(&self) -> usize {
+        self.csc.shape().ncols.div_ceil(self.tile_w).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_formats::{Coo, Csr, TiledDcsr};
+
+    fn sample_csc() -> Csc {
+        let entries: Vec<(u32, u32)> = (0..40u32).map(|i| ((i * 13) % 32, (i * 7) % 32)).collect();
+        let rows: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<u32> = entries.iter().map(|e| e.1).collect();
+        let vals = vec![1.0f32; entries.len()];
+        Csr::from_coo(&Coo::from_triplets(32, 32, &rows, &cols, &vals).unwrap()).to_csc()
+    }
+
+    #[test]
+    fn sequential_requests_reproduce_offline_tiling() {
+        let csc = sample_csc();
+        let offline = TiledDcsr::from_csc(&csc, 8, 8).unwrap();
+        let mut q = ConversionQueue::new(&csc, 8, 8, Layout::TileRotated, 4);
+        for s in 0..q.num_strips() {
+            for t in 0..4 {
+                q.submit(GetDcsrTileRequest {
+                    strip_id: s,
+                    row_start: (t * 8) as u32,
+                    sm_id: 0,
+                });
+            }
+        }
+        let responses = q.drain();
+        assert_eq!(responses.len(), 16);
+        for r in responses {
+            let expected = &offline.strips()[r.request.strip_id][r.request.row_start as usize / 8];
+            assert_eq!(&r.tile, expected);
+        }
+    }
+
+    #[test]
+    fn random_order_requests_still_correct() {
+        let csc = sample_csc();
+        let offline = TiledDcsr::from_csc(&csc, 8, 8).unwrap();
+        let mut q = ConversionQueue::new(&csc, 8, 8, Layout::TileRotated, 4);
+        // Out-of-order rows within a strip force seeks.
+        for &(s, t) in &[(0usize, 3usize), (0, 0), (1, 2), (1, 2), (2, 1), (0, 3)] {
+            q.submit(GetDcsrTileRequest {
+                strip_id: s,
+                row_start: (t * 8) as u32,
+                sm_id: 1,
+            });
+        }
+        for r in q.drain() {
+            let expected = &offline.strips()[r.request.strip_id][r.request.row_start as usize / 8];
+            assert_eq!(&r.tile, expected, "req {:?}", r.request);
+        }
+    }
+
+    #[test]
+    fn routing_respects_layout() {
+        let csc = sample_csc();
+        let q = ConversionQueue::new(&csc, 8, 8, Layout::StripPerPartition, 4);
+        let naive0 = q.partition_for(&GetDcsrTileRequest {
+            strip_id: 1,
+            row_start: 0,
+            sm_id: 0,
+        });
+        let naive1 = q.partition_for(&GetDcsrTileRequest {
+            strip_id: 1,
+            row_start: 8,
+            sm_id: 0,
+        });
+        assert_eq!(naive0, naive1, "naive layout pins a strip to one partition");
+        let q = ConversionQueue::new(&csc, 8, 8, Layout::TileRotated, 4);
+        let rot0 = q.partition_for(&GetDcsrTileRequest {
+            strip_id: 1,
+            row_start: 0,
+            sm_id: 0,
+        });
+        let rot1 = q.partition_for(&GetDcsrTileRequest {
+            strip_id: 1,
+            row_start: 8,
+            sm_id: 0,
+        });
+        assert_ne!(rot0, rot1, "rotated layout spreads a strip's tiles");
+    }
+
+    #[test]
+    fn pending_counts_track_queues() {
+        let csc = sample_csc();
+        let mut q = ConversionQueue::new(&csc, 8, 8, Layout::StripPerPartition, 4);
+        q.submit(GetDcsrTileRequest {
+            strip_id: 0,
+            row_start: 0,
+            sm_id: 0,
+        });
+        q.submit(GetDcsrTileRequest {
+            strip_id: 0,
+            row_start: 8,
+            sm_id: 0,
+        });
+        assert_eq!(q.pending(0), 2);
+        assert_eq!(q.pending(1), 0);
+        q.drain();
+        assert_eq!(q.pending(0), 0);
+        assert!(q.stats().elements > 0);
+    }
+}
+
+#[cfg(test)]
+mod timed_tests {
+    use super::*;
+    use nmt_engine::{ComparatorTree, EngineTiming};
+    use nmt_formats::{Coo, Csr};
+
+    fn clustered_csc() -> Csc {
+        // All non-zeros in strip 0 — the §6.1 camping pathology under the
+        // naive layout.
+        let entries: Vec<(u32, u32)> = (0..64u32).map(|i| (i % 32, i % 8)).collect();
+        let rows: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<u32> = entries.iter().map(|e| e.1).collect();
+        let vals = vec![1.0f32; entries.len()];
+        Csr::from_coo(&Coo::from_triplets(32, 32, &rows, &cols, &vals).unwrap()).to_csc()
+    }
+
+    #[test]
+    fn camping_layout_serializes_one_server() {
+        let csc = clustered_csc();
+        let timing = EngineTiming::fp32(13.6, &ComparatorTree::new(8).structure());
+        let submit_all = |q: &mut ConversionQueue| {
+            for s in 0..q.num_strips() {
+                for t in 0..4 {
+                    q.submit(GetDcsrTileRequest {
+                        strip_id: s,
+                        row_start: (t * 8) as u32,
+                        sm_id: 0,
+                    });
+                }
+            }
+        };
+        let mut naive = ConversionQueue::new(&csc, 8, 8, Layout::StripPerPartition, 4);
+        submit_all(&mut naive);
+        let (_, naive_busy) = naive.drain_timed(&timing);
+        let mut rotated = ConversionQueue::new(&csc, 8, 8, Layout::TileRotated, 4);
+        submit_all(&mut rotated);
+        let (responses, rot_busy) = rotated.drain_timed(&timing);
+
+        let max = |v: &Vec<f64>| v.iter().cloned().fold(0.0f64, f64::max);
+        // The hot strip's work lands on one server under the naive layout;
+        // rotation spreads it, shrinking the makespan.
+        assert!(
+            max(&rot_busy) < max(&naive_busy),
+            "rotation must shrink the makespan: {:?} vs {:?}",
+            rot_busy,
+            naive_busy
+        );
+        // Completion times are monotone within each partition's FIFO.
+        for p in 0..4 {
+            let times: Vec<f64> = responses
+                .iter()
+                .filter(|r| r.partition == p)
+                .map(|r| r.completed_at_ns)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Large-scale SpMM across multiple GPUs (§6.2, Figure 18).
+//!
+//! For matrices whose dense operands dwarf GPU memory ("a 2M × 2M dense
+//! matrix is as large as 17 TB"), the paper streams vertical strips of B
+//! and C through each GPU: A is replicated (it is the most space-efficient
+//! operand, especially as CSC), each GPU computes complete vertical C
+//! strips to minimize inter-node communication, and CUDA-stream-style
+//! double buffering overlaps transfers with compute. The near-memory
+//! engine fits naturally: each GPU converts its A copy online, so no tiled
+//! metadata ever crosses the interconnect.
+
+use nmt_sim::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// A large SpMM problem: `C[n][k] = A[n][n] × B[n][k]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LargeSpmmProblem {
+    /// Sparse dimension.
+    pub n: u64,
+    /// Number of dense vectors (columns of B).
+    pub k: u64,
+    /// Non-zeros of A.
+    pub nnz: u64,
+}
+
+impl LargeSpmmProblem {
+    /// Bytes of the CSC image of A (replicated per GPU).
+    pub fn a_csc_bytes(&self) -> u64 {
+        8 * self.nnz + 4 * (self.n + 1)
+    }
+
+    /// Bytes of the full dense B (and C) matrices.
+    pub fn dense_bytes(&self) -> u64 {
+        4 * self.n * self.k
+    }
+}
+
+/// Multi-GPU system description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiGpuConfig {
+    /// Per-GPU configuration.
+    pub gpu: GpuConfig,
+    /// Number of GPUs.
+    pub num_gpus: usize,
+    /// Usable device memory per GPU in bytes (16 GB HBM2 minus headroom).
+    pub device_mem_bytes: u64,
+    /// Host↔device interconnect bandwidth per GPU in GB/s.
+    pub link_gbps: f64,
+}
+
+impl MultiGpuConfig {
+    /// Default: GV100s on PCIe 3.0 x16 (~12 GB/s effective).
+    pub fn gv100_cluster(num_gpus: usize) -> Self {
+        Self {
+            gpu: GpuConfig::gv100(),
+            num_gpus,
+            device_mem_bytes: 14 * (1 << 30),
+            link_gbps: 12.0,
+        }
+    }
+}
+
+/// Outcome of planning a streamed multi-GPU SpMM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiGpuReport {
+    /// Columns of B/C assigned to each GPU (vertical strip width).
+    pub cols_per_gpu: u64,
+    /// Number of B/C chunks streamed through each GPU.
+    pub chunks_per_gpu: u64,
+    /// Bytes streamed in+out per GPU (B in, C out).
+    pub stream_bytes_per_gpu: u64,
+    /// Estimated transfer time per GPU in seconds.
+    pub transfer_s: f64,
+    /// Estimated compute (DRAM-roofline) time per GPU in seconds.
+    pub compute_s: f64,
+    /// Estimated wall-clock with transfer/compute overlap in seconds.
+    pub overlapped_s: f64,
+    /// True when compute fully hides the streaming (compute-bound).
+    pub compute_hides_transfer: bool,
+}
+
+/// Plan the §6.2 streaming execution. Returns `Err` with an explanation if
+/// even a single B/C column chunk plus the replicated A cannot fit.
+pub fn plan_streamed_spmm(
+    p: &LargeSpmmProblem,
+    sys: &MultiGpuConfig,
+) -> Result<MultiGpuReport, String> {
+    if sys.num_gpus == 0 {
+        return Err("need at least one GPU".into());
+    }
+    let a_bytes = p.a_csc_bytes();
+    if a_bytes >= sys.device_mem_bytes {
+        return Err(format!(
+            "replicated A ({a_bytes} B) does not fit in device memory ({} B)",
+            sys.device_mem_bytes
+        ));
+    }
+    // Each GPU owns a vertical strip of B and C: k / num_gpus columns.
+    let cols_per_gpu = p.k.div_ceil(sys.num_gpus as u64).max(1);
+    // Working set per streamed chunk: double-buffered B chunk + C chunk.
+    let free = sys.device_mem_bytes - a_bytes;
+    let col_bytes = 4 * p.n; // one dense column of B (and of C)
+                             // chunk_cols chosen so 2 chunks of B + 2 of C fit in free memory.
+    let chunk_cols = (free / (4 * col_bytes)).max(1).min(cols_per_gpu);
+    let chunks_per_gpu = cols_per_gpu.div_ceil(chunk_cols);
+    // Stream B in and C out once each.
+    let stream_bytes_per_gpu = 2 * col_bytes * cols_per_gpu;
+    let transfer_s = stream_bytes_per_gpu as f64 / (sys.link_gbps * 1e9);
+    // DRAM roofline for the on-GPU kernel: every B element read once from
+    // HBM, every C written once (atomics amortized by tiling), A read
+    // n/tile_w times (engine streams CSC per strip).
+    let tile_w = 64u64;
+    let a_traffic = a_bytes * (p.n.div_ceil(tile_w)).min(64); // strips, capped by reuse
+    let bc_traffic = 2 * col_bytes * cols_per_gpu;
+    let dram_s = (a_traffic + bc_traffic) as f64 / (sys.gpu.total_bandwidth_gbps() * 1e9);
+    let compute_s = dram_s;
+    let overlapped_s =
+        transfer_s.max(compute_s) + transfer_s.min(compute_s) / chunks_per_gpu as f64;
+    Ok(MultiGpuReport {
+        cols_per_gpu,
+        chunks_per_gpu,
+        stream_bytes_per_gpu,
+        transfer_s,
+        compute_s,
+        overlapped_s,
+        compute_hides_transfer: compute_s >= transfer_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_problem() -> LargeSpmmProblem {
+        // 2M x 2M, density 1e-5 -> 40M nnz; dense B/C = 16 TB each at
+        // k = n (the paper's 17 TB example counts one matrix).
+        LargeSpmmProblem {
+            n: 2_000_000,
+            k: 2_000_000,
+            nnz: 40_000_000,
+        }
+    }
+
+    #[test]
+    fn paper_example_dense_size() {
+        // "2M × 2M dense matrix is as large as 17 TB" (decimal TB, fp32).
+        let p = big_problem();
+        let tb = p.dense_bytes() as f64 / 1e12;
+        assert!((tb - 16.0).abs() < 1.0, "dense = {tb} TB");
+    }
+
+    #[test]
+    fn a_fits_but_dense_does_not() {
+        let p = big_problem();
+        let sys = MultiGpuConfig::gv100_cluster(4);
+        assert!(p.a_csc_bytes() < sys.device_mem_bytes);
+        assert!(p.dense_bytes() > sys.device_mem_bytes);
+        let plan = plan_streamed_spmm(&p, &sys).unwrap();
+        assert_eq!(plan.cols_per_gpu, 500_000);
+        assert!(plan.chunks_per_gpu > 1, "must stream in multiple chunks");
+        assert!(plan.overlapped_s > 0.0);
+    }
+
+    #[test]
+    fn more_gpus_reduce_wall_clock() {
+        let p = big_problem();
+        let t1 = plan_streamed_spmm(&p, &MultiGpuConfig::gv100_cluster(1)).unwrap();
+        let t8 = plan_streamed_spmm(&p, &MultiGpuConfig::gv100_cluster(8)).unwrap();
+        assert!(t8.overlapped_s < t1.overlapped_s / 4.0);
+    }
+
+    #[test]
+    fn oversized_a_is_rejected() {
+        let p = LargeSpmmProblem {
+            n: 1 << 31,
+            k: 16,
+            nnz: 4_000_000_000,
+        };
+        let sys = MultiGpuConfig::gv100_cluster(2);
+        assert!(plan_streamed_spmm(&p, &sys).is_err());
+    }
+
+    #[test]
+    fn overlap_never_exceeds_sum() {
+        let p = big_problem();
+        let plan = plan_streamed_spmm(&p, &MultiGpuConfig::gv100_cluster(4)).unwrap();
+        assert!(plan.overlapped_s <= plan.transfer_s + plan.compute_s + 1e-9);
+        assert!(plan.overlapped_s >= plan.transfer_s.max(plan.compute_s) - 1e-9);
+    }
+
+    #[test]
+    fn zero_gpus_rejected() {
+        let p = big_problem();
+        let mut sys = MultiGpuConfig::gv100_cluster(1);
+        sys.num_gpus = 0;
+        assert!(plan_streamed_spmm(&p, &sys).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The SSF-directed SpMM planner.
+
+use nmt_engine::{conversion_energy_pj, ConversionStats};
+use nmt_formats::{Csr, Dcsr, DenseMatrix, SparseMatrix};
+use nmt_kernels::{bstat_tiled_dcsr_online, csrmm_cusparse, dcsrmm_row_per_warp};
+use nmt_model::ssf::{classify, Choice, SsfProfile, SsfThreshold};
+use nmt_sim::{Gpu, GpuConfig, KernelStats, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Default decision threshold, learned offline by
+/// `bench/src/bin/fig04_ssf_scatter.rs` over the synthetic suite (the
+/// analogue of the paper's `SSF_th` learned over ~4,000 SuiteSparse
+/// matrices). Re-learn with [`nmt_model::learn_threshold`] when the
+/// workload population changes.
+pub const DEFAULT_SSF_THRESHOLD: SsfThreshold = SsfThreshold {
+    threshold: 2.55e4,
+    accuracy: 0.82,
+};
+
+/// Which concrete kernel the planner ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// C-stationary, untiled CSR, row-per-warp (also the baseline).
+    CStationaryCsr,
+    /// C-stationary, untiled DCSR, row-per-warp.
+    CStationaryDcsr,
+    /// B-stationary, online-tiled DCSR via the near-memory engine.
+    BStationaryOnline,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Simulated GPU.
+    pub gpu: GpuConfig,
+    /// Strip/tile width (64 in the paper).
+    pub tile_w: usize,
+    /// Tile height (64 in the paper).
+    pub tile_h: usize,
+    /// Decision threshold.
+    pub threshold: SsfThreshold,
+}
+
+impl PlannerConfig {
+    /// The paper's configuration: GV100, 64×64 tiles, learned threshold.
+    pub fn paper_default() -> Self {
+        Self {
+            gpu: GpuConfig::gv100(),
+            tile_w: 64,
+            tile_h: 64,
+            threshold: DEFAULT_SSF_THRESHOLD,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test_small() -> Self {
+        Self {
+            gpu: GpuConfig::test_small(),
+            tile_w: 16,
+            tile_h: 16,
+            threshold: DEFAULT_SSF_THRESHOLD,
+        }
+    }
+}
+
+/// Everything the planner learned and did for one matrix.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The SSF profile (terms + value).
+    pub profile: SsfProfile,
+    /// Heuristic decision.
+    pub choice: Choice,
+    /// Kernel actually executed.
+    pub algorithm: Algorithm,
+    /// Stats of the chosen kernel.
+    pub stats: KernelStats,
+    /// Stats of the cuSPARSE-baseline stand-in on the same matrix.
+    pub baseline_stats: KernelStats,
+    /// `baseline_time / chosen_time` (> 1 is a win).
+    pub speedup: f64,
+    /// Engine activity (present when the online path ran).
+    pub engine: Option<ConversionStats>,
+    /// Engine conversion energy in picojoules (0 for C-stationary).
+    pub engine_energy_pj: f64,
+}
+
+/// The auto-tuning SpMM planner.
+#[derive(Debug, Clone)]
+pub struct SpmmPlanner {
+    config: PlannerConfig,
+}
+
+impl SpmmPlanner {
+    /// Build a planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Profile a matrix and return the heuristic decision without running
+    /// anything.
+    pub fn plan(&self, a: &Csr) -> (SsfProfile, Choice) {
+        let profile = SsfProfile::compute(a, self.config.tile_w);
+        let choice = classify(profile.ssf, &self.config.threshold);
+        (profile, choice)
+    }
+
+    /// Profile, choose, execute and compare against the baseline.
+    ///
+    /// Each kernel runs on a fresh, cold-cache GPU instance so timings are
+    /// comparable (the paper measures isolated kernels too).
+    pub fn execute(&self, a: &Csr, b: &DenseMatrix) -> Result<PlanReport, SimError> {
+        let (profile, choice) = self.plan(a);
+
+        let mut base_gpu = Gpu::new(self.config.gpu.clone())?;
+        let baseline = csrmm_cusparse(&mut base_gpu, a, b)?;
+
+        let mut gpu = Gpu::new(self.config.gpu.clone())?;
+        let (algorithm, stats, c, engine) = match choice {
+            Choice::CStationary => {
+                let dcsr = Dcsr::from_csr(a);
+                let run = dcsrmm_row_per_warp(&mut gpu, &dcsr, b)?;
+                (Algorithm::CStationaryDcsr, run.stats, run.c, None)
+            }
+            Choice::BStationary => {
+                let csc = a.to_csc();
+                let online = bstat_tiled_dcsr_online(
+                    &mut gpu,
+                    &csc,
+                    b,
+                    self.config.tile_w,
+                    self.config.tile_h,
+                )?;
+                (
+                    Algorithm::BStationaryOnline,
+                    online.run.stats,
+                    online.run.c,
+                    Some(online.engine),
+                )
+            }
+        };
+        debug_assert!(
+            c.approx_eq(&baseline.c, 1e-3),
+            "planner kernel disagrees with baseline output"
+        );
+        let engine_energy_pj = engine
+            .as_ref()
+            .map_or(0.0, |e| conversion_energy_pj(e, false));
+        Ok(PlanReport {
+            profile,
+            choice,
+            algorithm,
+            speedup: baseline.stats.total_ns / stats.total_ns.max(1e-9),
+            stats,
+            baseline_stats: baseline.stats,
+            engine,
+            engine_energy_pj,
+        })
+    }
+
+    /// Run *both* algorithms and report `(t_cstationary, t_bstationary)` —
+    /// the measurement behind Figure 4's y-axis and threshold learning.
+    pub fn profile_both(&self, a: &Csr, b: &DenseMatrix) -> Result<(f64, f64), SimError> {
+        let dcsr = Dcsr::from_csr(a);
+        let mut g1 = Gpu::new(self.config.gpu.clone())?;
+        let c_run = dcsrmm_row_per_warp(&mut g1, &dcsr, b)?;
+        let mut g2 = Gpu::new(self.config.gpu.clone())?;
+        let online = bstat_tiled_dcsr_online(
+            &mut g2,
+            &a.to_csc(),
+            b,
+            self.config.tile_w,
+            self.config.tile_h,
+        )?;
+        Ok((c_run.stats.total_ns, online.run.stats.total_ns))
+    }
+}
+
+/// Convenience: run the full planner once with the paper configuration.
+pub fn auto_spmm(a: &Csr, b: &DenseMatrix) -> Result<PlanReport, SimError> {
+    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    SpmmPlanner::new(PlannerConfig::paper_default()).execute(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+
+    fn planner() -> SpmmPlanner {
+        SpmmPlanner::new(PlannerConfig::test_small())
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::Uniform { density: 0.01 },
+            1,
+        ));
+        let p = planner();
+        let (prof1, c1) = p.plan(&a);
+        let (prof2, c2) = p.plan(&a);
+        assert_eq!(prof1, prof2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn execute_produces_correct_output_and_speedup() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::ZipfRows {
+                density: 0.01,
+                exponent: 1.2,
+            },
+            2,
+        ));
+        let b = random_dense(128, 16, 3);
+        let report = planner().execute(&a, &b).unwrap();
+        assert!(report.speedup > 0.0);
+        assert!(report.baseline_stats.total_ns > 0.0);
+        match report.algorithm {
+            Algorithm::BStationaryOnline => {
+                assert!(report.engine.is_some());
+                assert!(report.engine_energy_pj > 0.0);
+            }
+            _ => assert!(report.engine.is_none()),
+        }
+    }
+
+    #[test]
+    fn forced_thresholds_select_each_branch() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::Uniform { density: 0.02 },
+            4,
+        ));
+        let b = random_dense(128, 16, 5);
+        let mut cfg = PlannerConfig::test_small();
+        cfg.threshold = SsfThreshold {
+            threshold: f64::INFINITY,
+            accuracy: 1.0,
+        };
+        let rep = SpmmPlanner::new(cfg.clone()).execute(&a, &b).unwrap();
+        assert_eq!(rep.algorithm, Algorithm::CStationaryDcsr);
+        cfg.threshold = SsfThreshold {
+            threshold: -1.0,
+            accuracy: 1.0,
+        };
+        let rep = SpmmPlanner::new(cfg).execute(&a, &b).unwrap();
+        assert_eq!(rep.algorithm, Algorithm::BStationaryOnline);
+        assert_eq!(rep.engine.as_ref().unwrap().elements as usize, a.nnz());
+    }
+
+    #[test]
+    fn profile_both_returns_positive_times() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            96,
+            GenKind::BlockDiag {
+                block: 16,
+                fill: 0.3,
+                background: 0.001,
+            },
+            6,
+        ));
+        let b = random_dense(96, 16, 7);
+        let (tc, tb) = planner().profile_both(&a, &b).unwrap();
+        assert!(tc > 0.0 && tb > 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Structured reports: serializable summaries of planner runs, suitable
+//! for the CLI's `--json` output and for suite-level aggregation.
+
+use crate::planner::{Algorithm, PlanReport};
+use nmt_model::ssf::Choice;
+use serde::{Deserialize, Serialize};
+
+/// A flat, serializable record of one planner execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Matrix identifier (caller-supplied).
+    pub matrix: String,
+    /// Rows of the sparse matrix.
+    pub nrows: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// The SSF value (Eq. 2).
+    pub ssf: f64,
+    /// Normalized entropy term.
+    pub h_norm: f64,
+    /// Heuristic decision.
+    pub choice: String,
+    /// Kernel executed.
+    pub algorithm: String,
+    /// Baseline (cuSPARSE stand-in) time in ns.
+    pub baseline_ns: f64,
+    /// Chosen-kernel time in ns.
+    pub chosen_ns: f64,
+    /// Speedup over the baseline.
+    pub speedup: f64,
+    /// Engine elements converted (0 on the C-stationary path).
+    pub engine_elements: u64,
+    /// Engine conversion energy in picojoules.
+    pub engine_energy_pj: f64,
+    /// Memory-stall share of the chosen kernel.
+    pub memory_stall: f64,
+}
+
+impl RunRecord {
+    /// Flatten a [`PlanReport`] with a matrix name and its dimensions.
+    pub fn from_report(
+        matrix: impl Into<String>,
+        nrows: usize,
+        nnz: usize,
+        r: &PlanReport,
+    ) -> Self {
+        Self {
+            matrix: matrix.into(),
+            nrows,
+            nnz,
+            ssf: r.profile.ssf,
+            h_norm: r.profile.h_norm,
+            choice: match r.choice {
+                Choice::BStationary => "b-stationary".into(),
+                Choice::CStationary => "c-stationary".into(),
+            },
+            algorithm: match r.algorithm {
+                Algorithm::CStationaryCsr => "cstat-csr".into(),
+                Algorithm::CStationaryDcsr => "cstat-dcsr".into(),
+                Algorithm::BStationaryOnline => "bstat-online".into(),
+            },
+            baseline_ns: r.baseline_stats.total_ns,
+            chosen_ns: r.stats.total_ns,
+            speedup: r.speedup,
+            engine_elements: r.engine.as_ref().map_or(0, |e| e.elements),
+            engine_energy_pj: r.engine_energy_pj,
+            memory_stall: r.stats.stall_breakdown().memory,
+        }
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serializes")
+    }
+}
+
+/// Aggregate over a set of runs (a suite sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Individual records.
+    pub runs: Vec<RunRecord>,
+    /// Geometric-mean speedup across runs.
+    pub geomean_speedup: f64,
+    /// Fraction of runs that improved on the baseline.
+    pub improved_fraction: f64,
+    /// Runs routed to the B-stationary (online engine) path.
+    pub bstationary_count: usize,
+    /// Runs routed to the C-stationary path.
+    pub cstationary_count: usize,
+}
+
+impl SuiteReport {
+    /// Aggregate a set of records.
+    pub fn aggregate(runs: Vec<RunRecord>) -> Self {
+        let positive: Vec<f64> = runs
+            .iter()
+            .map(|r| r.speedup)
+            .filter(|&s| s > 0.0)
+            .collect();
+        let geomean_speedup = if positive.is_empty() {
+            0.0
+        } else {
+            (positive.iter().map(|s| s.ln()).sum::<f64>() / positive.len() as f64).exp()
+        };
+        let improved = runs.iter().filter(|r| r.speedup > 1.0).count();
+        let b = runs.iter().filter(|r| r.choice == "b-stationary").count();
+        let c = runs.len() - b;
+        Self {
+            improved_fraction: if runs.is_empty() {
+                0.0
+            } else {
+                improved as f64 / runs.len() as f64
+            },
+            geomean_speedup,
+            bstationary_count: b,
+            cstationary_count: c,
+            runs,
+        }
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Render a compact text summary.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "{} matrices | geomean speedup {:.2}x | improved {:.0}% | routed B/C = {}/{}",
+            self.runs.len(),
+            self.geomean_speedup,
+            self.improved_fraction * 100.0,
+            self.bstationary_count,
+            self.cstationary_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlannerConfig, SpmmPlanner};
+    use nmt_formats::SparseMatrix;
+    use nmt_matgen::{generators, random_dense, GenKind, MatrixDesc};
+
+    fn record(kind: GenKind, seed: u64) -> RunRecord {
+        let a = generators::generate(&MatrixDesc::new("m", 128, kind, seed));
+        let b = random_dense(128, 16, seed ^ 1);
+        let report = SpmmPlanner::new(PlannerConfig::test_small())
+            .execute(&a, &b)
+            .expect("runs");
+        RunRecord::from_report("m", a.shape().nrows, a.nnz(), &report)
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = record(GenKind::Uniform { density: 0.02 }, 1);
+        let json = r.to_json();
+        let back: RunRecord = serde_json::from_str(&json).expect("parses");
+        // Floats may lose an ULP through the pretty printer; compare
+        // structurally with tolerance.
+        assert_eq!(back.matrix, r.matrix);
+        assert_eq!(back.nnz, r.nnz);
+        assert_eq!(back.choice, r.choice);
+        assert_eq!(back.algorithm, r.algorithm);
+        assert!((back.ssf - r.ssf).abs() <= r.ssf.abs() * 1e-12);
+        assert!((back.speedup - r.speedup).abs() <= r.speedup * 1e-12);
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn suite_aggregation() {
+        let runs = vec![
+            record(GenKind::Uniform { density: 0.02 }, 2),
+            record(
+                GenKind::RowBursts {
+                    density: 0.02,
+                    burst_len: 8,
+                },
+                3,
+            ),
+        ];
+        let report = SuiteReport::aggregate(runs);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.bstationary_count + report.cstationary_count, 2);
+        assert!(report.geomean_speedup > 0.0);
+        let summary = report.render_summary();
+        assert!(summary.contains("2 matrices"));
+        let back: SuiteReport = serde_json::from_str(&report.to_json()).expect("parses");
+        assert_eq!(back.runs.len(), report.runs.len());
+        assert!((back.geomean_speedup - report.geomean_speedup).abs() < 1e-9);
+        assert_eq!(back.bstationary_count, report.bstationary_count);
+    }
+
+    #[test]
+    fn empty_suite_is_handled() {
+        let report = SuiteReport::aggregate(vec![]);
+        assert_eq!(report.geomean_speedup, 0.0);
+        assert_eq!(report.improved_fraction, 0.0);
+        assert!(report.render_summary().contains("0 matrices"));
+    }
+}

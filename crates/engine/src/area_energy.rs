@@ -1,0 +1,158 @@
+//! Area and energy model of the transform units (§5.3).
+//!
+//! The paper builds circuit models of the comparator, buffer and control
+//! logic in TSMC 16 nm and sizes the buffer with CACTI; this module encodes
+//! the resulting constants and reproduces every derived number in §5.3:
+//! one unit is 0.077 mm²; GV100 integrates one per HBM2 pseudo channel
+//! (64 units, 4.9 mm², 0.6 % of the 815 mm² die); the worst-case energy is
+//! 6.29 pJ per 8-byte element every 0.588 ns (7.09 pJ / 0.882 ns for
+//! 12-byte fp64 elements), i.e. 0.68 W (0.51 W) with a fully loaded memory
+//! system — 0.27 % of the 250 W TDP. A TU116-class part needs one unit per
+//! GDDR6 channel: 24 units, 1.85 mm², 0.65 % of its 284 mm² die.
+
+use crate::convert::ConversionStats;
+use crate::timing::{ELEM_BYTES_FP32, ELEM_BYTES_FP64};
+use nmt_sim::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Area of one conversion unit in mm² (TSMC 16 nm, §5.3).
+pub const AREA_PER_UNIT_MM2: f64 = 0.077;
+
+/// Worst-case energy per converted 8-byte (fp32) element, in pJ.
+pub const ENERGY_PER_ELEM_FP32_PJ: f64 = 6.29;
+
+/// Worst-case energy per converted 12-byte (fp64) element, in pJ.
+pub const ENERGY_PER_ELEM_FP64_PJ: f64 = 7.09;
+
+/// GV100 idle power in watts — §5.3 states the engine's 0.68 W peak is
+/// "2.96 % of the idle power", implying ≈ 23 W idle.
+pub const GV100_IDLE_WATTS: f64 = 23.0;
+
+/// Derived area/energy figures for a transform-engine deployment on a
+/// specific GPU (one unit per FB partition / memory channel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaEnergyModel {
+    /// Number of conversion units (== memory channels).
+    pub units: usize,
+    /// Total engine area in mm².
+    pub total_area_mm2: f64,
+    /// Engine area as a fraction of the die.
+    pub area_fraction: f64,
+    /// Worst-case engine power at full memory load, fp32 stream, watts.
+    pub peak_power_fp32_w: f64,
+    /// Worst-case engine power at full memory load, fp64 stream, watts.
+    pub peak_power_fp64_w: f64,
+    /// fp32 peak power as a fraction of board TDP.
+    pub power_fraction_tdp: f64,
+}
+
+impl AreaEnergyModel {
+    /// Size the deployment for `gpu`: one unit per partition, each sized
+    /// to its channel's element rate.
+    pub fn for_gpu(gpu: &GpuConfig) -> Self {
+        let units = gpu.num_partitions;
+        let total_area_mm2 = units as f64 * AREA_PER_UNIT_MM2;
+        // Cycle time per element at this channel's bandwidth.
+        let cycle32_ns = ELEM_BYTES_FP32 as f64 / gpu.channel_gbps;
+        let cycle64_ns = ELEM_BYTES_FP64 as f64 / gpu.channel_gbps;
+        // P = E/cycle per unit, times all units (fully loaded memory).
+        let peak_power_fp32_w =
+            units as f64 * ENERGY_PER_ELEM_FP32_PJ * 1e-12 / (cycle32_ns * 1e-9);
+        let peak_power_fp64_w =
+            units as f64 * ENERGY_PER_ELEM_FP64_PJ * 1e-12 / (cycle64_ns * 1e-9);
+        Self {
+            units,
+            total_area_mm2,
+            area_fraction: total_area_mm2 / gpu.die_area_mm2,
+            peak_power_fp32_w,
+            peak_power_fp64_w,
+            power_fraction_tdp: peak_power_fp32_w / gpu.tdp_watts,
+        }
+    }
+
+    /// The doubled-cost variant of §6.1's alternative placement: putting
+    /// conversion units in the SMs instead of the FB partitions "incurs 2×
+    /// area cost" (every SM needs a unit, with larger buffers for Xbar
+    /// latency).
+    pub fn in_sm_alternative(gpu: &GpuConfig) -> f64 {
+        2.0 * Self::for_gpu(gpu).total_area_mm2
+    }
+}
+
+/// Energy consumed converting the work in `stats`, in picojoules.
+pub fn conversion_energy_pj(stats: &ConversionStats, fp64: bool) -> f64 {
+    let per_elem = if fp64 {
+        ENERGY_PER_ELEM_FP64_PJ
+    } else {
+        ENERGY_PER_ELEM_FP32_PJ
+    };
+    stats.elements as f64 * per_elem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gv100_deployment_matches_section_53() {
+        let m = AreaEnergyModel::for_gpu(&GpuConfig::gv100());
+        assert_eq!(m.units, 64);
+        // "the total area for our transformation units is 4.9 mm²"
+        assert!((m.total_area_mm2 - 4.928).abs() < 0.01);
+        // "which is 0.6% of the overall chip (815 mm²)"
+        assert!(
+            (m.area_fraction - 0.006).abs() < 0.0005,
+            "frac {}",
+            m.area_fraction
+        );
+        // "leading to 0.68 W (0.51 W for [12]-byte value)"
+        assert!(
+            (m.peak_power_fp32_w - 0.68).abs() < 0.01,
+            "p32 {}",
+            m.peak_power_fp32_w
+        );
+        assert!(
+            (m.peak_power_fp64_w - 0.51).abs() < 0.01,
+            "p64 {}",
+            m.peak_power_fp64_w
+        );
+        // "the peak power of our engine is 0.27% of the TDP"
+        assert!((m.power_fraction_tdp - 0.0027).abs() < 0.0002);
+        // "2.96% of the idle power"
+        let idle_frac = m.peak_power_fp32_w / GV100_IDLE_WATTS;
+        assert!((idle_frac - 0.0296).abs() < 0.002, "idle frac {idle_frac}");
+    }
+
+    #[test]
+    fn tu116_deployment_matches_section_53() {
+        let m = AreaEnergyModel::for_gpu(&GpuConfig::tu116());
+        assert_eq!(m.units, 24);
+        // "adding 24 transform engines would cost 1.85 mm²"
+        assert!((m.total_area_mm2 - 1.848).abs() < 0.01);
+        // "This is 0.65% of the overall area"
+        assert!(
+            (m.area_fraction - 0.0065).abs() < 0.0005,
+            "frac {}",
+            m.area_fraction
+        );
+    }
+
+    #[test]
+    fn sm_placement_doubles_area() {
+        let gpu = GpuConfig::gv100();
+        let fb = AreaEnergyModel::for_gpu(&gpu).total_area_mm2;
+        assert!((AreaEnergyModel::in_sm_alternative(&gpu) - 2.0 * fb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_energy_scales_with_elements() {
+        let stats = ConversionStats {
+            elements: 1000,
+            ..Default::default()
+        };
+        assert!((conversion_energy_pj(&stats, false) - 6290.0).abs() < 1e-9);
+        assert!((conversion_energy_pj(&stats, true) - 7090.0).abs() < 1e-9);
+        let empty = ConversionStats::default();
+        assert_eq!(conversion_energy_pj(&empty, false), 0.0);
+    }
+}

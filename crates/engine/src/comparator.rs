@@ -1,0 +1,237 @@
+//! The hierarchical minimum-comparator unit (Figures 14–15).
+//!
+//! The conversion engine must find, every cycle, the minimum row coordinate
+//! among the N column frontiers of a strip and *all* the columns holding
+//! that minimum. The hardware builds this from 2-input comparator units —
+//! each a 32-bit magnitude comparator, a coordinate bypass multiplexer and
+//! a minimum-bypass unit producing a position bit vector — composed into a
+//! binary tree: an N-input unit uses `N - 1` two-input units in
+//! `ceil(log2 N)` stages. When several inputs tie for the minimum the
+//! output bit vector points at all of them (e.g. `min[3:0] = 0101₂` when
+//! inputs 0 and 2 tie), which is what lets the engine emit a whole DCSR row
+//! in one step.
+//!
+//! This module models the unit both *functionally* (so the converter uses
+//! the exact datapath) and *structurally* (unit counts, tree depth, stage
+//! latency for the §5.3 pipeline analysis).
+
+/// Output of one comparison pass: the minimum coordinate and the set of
+/// lanes carrying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinResult {
+    /// The minimum row coordinate among valid lanes.
+    pub min: u32,
+    /// Bit `i` set ⇔ lane `i` holds the minimum (the `min[N-1:0]` vector).
+    pub mask: u64,
+}
+
+/// An N-input comparator tree (N ≤ 64, the engine's strip width).
+#[derive(Debug, Clone)]
+pub struct ComparatorTree {
+    n: usize,
+}
+
+/// Hardware-structure summary of a comparator tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStructure {
+    /// Number of 2-input comparator units (`N - 1` for a full tree).
+    pub two_input_units: usize,
+    /// Pipeline depth in comparator stages (`ceil(log2 N)`).
+    pub depth: usize,
+    /// Latency of one stage in nanoseconds — §5.3 reports 0.339 ns as the
+    /// longest pipeline-stage latency, observed at a coordinate-comparator
+    /// stage in TSMC 16 nm.
+    pub stage_latency_ns: f64,
+}
+
+/// The §5.3 coordinate-comparator stage latency (TSMC 16 nm).
+pub const STAGE_LATENCY_NS: f64 = 0.339;
+
+impl ComparatorTree {
+    /// Build a tree over `n` lanes (1 ..= 64).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=64).contains(&n),
+            "comparator tree supports 1..=64 lanes, got {n}"
+        );
+        Self { n }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Structural cost of this tree.
+    pub fn structure(&self) -> TreeStructure {
+        TreeStructure {
+            two_input_units: self.n.saturating_sub(1),
+            depth: if self.n <= 1 {
+                0
+            } else {
+                usize::BITS as usize - (self.n - 1).leading_zeros() as usize
+            },
+            stage_latency_ns: STAGE_LATENCY_NS,
+        }
+    }
+
+    /// One comparison pass over the lane coordinates. `None` lanes are
+    /// exhausted columns (their `frontier_ptr` reached `boundary_ptr`) and
+    /// never win. Returns `None` when every lane is exhausted.
+    ///
+    /// The reduction is performed pairwise, exactly as the 2-input units
+    /// compose in Figure 15 (b): each unit forwards the smaller coordinate
+    /// and ORs the position vectors on ties.
+    pub fn find_min(&self, coords: &[Option<u32>]) -> Option<MinResult> {
+        assert_eq!(coords.len(), self.n, "lane count mismatch");
+        // Leaf level: (coordinate, position mask) per lane.
+        let mut level: Vec<Option<MinResult>> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.map(|v| MinResult {
+                    min: v,
+                    mask: 1u64 << i,
+                })
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(match pair {
+                    [a] => *a,
+                    [a, b] => two_input_unit(*a, *b),
+                    _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+                });
+            }
+            level = next;
+        }
+        level[0]
+    }
+}
+
+/// One 2-input comparator unit (Figure 15 (a)): magnitude comparison with
+/// coordinate bypass and minimum-bypass mask merging.
+fn two_input_unit(a: Option<MinResult>, b: Option<MinResult>) -> Option<MinResult> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (Some(x), Some(y)) => Some(match x.min.cmp(&y.min) {
+            std::cmp::Ordering::Less => x,
+            std::cmp::Ordering::Greater => y,
+            std::cmp::Ordering::Equal => MinResult {
+                min: x.min,
+                mask: x.mask | y.mask,
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_input_example_from_figure15() {
+        // "If COOR₃ is the smallest, COORz will be COOR₃ and min[3:0] will
+        // be 1000₂."
+        let t = ComparatorTree::new(4);
+        let r = t.find_min(&[Some(9), Some(7), Some(8), Some(3)]).unwrap();
+        assert_eq!(r.min, 3);
+        assert_eq!(r.mask, 0b1000);
+    }
+
+    #[test]
+    fn tie_reports_all_positions() {
+        // "If there are multiple minimum coordinates (e.g., COOR₀ and
+        // COOR₂) … min[3:0] = 0101₂."
+        let t = ComparatorTree::new(4);
+        let r = t.find_min(&[Some(5), Some(9), Some(5), Some(7)]).unwrap();
+        assert_eq!(r.min, 5);
+        assert_eq!(r.mask, 0b0101);
+    }
+
+    #[test]
+    fn exhausted_lanes_never_win() {
+        let t = ComparatorTree::new(4);
+        let r = t.find_min(&[None, Some(4), None, Some(2)]).unwrap();
+        assert_eq!(r.min, 2);
+        assert_eq!(r.mask, 0b1000);
+        assert_eq!(t.find_min(&[None, None, None, None]), None);
+    }
+
+    #[test]
+    fn all_lanes_tie() {
+        let t = ComparatorTree::new(8);
+        let r = t.find_min(&[Some(1); 8]).unwrap();
+        assert_eq!(r.mask, 0xFF);
+    }
+
+    #[test]
+    fn non_power_of_two_lane_count() {
+        let t = ComparatorTree::new(5);
+        let r = t
+            .find_min(&[Some(3), Some(2), Some(9), Some(2), Some(8)])
+            .unwrap();
+        assert_eq!(r.min, 2);
+        assert_eq!(r.mask, 0b01010);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let t = ComparatorTree::new(64);
+        let s = t.structure();
+        assert_eq!(s.two_input_units, 63);
+        assert_eq!(s.depth, 6); // log2(64)
+        assert!((s.stage_latency_ns - 0.339).abs() < 1e-12);
+        // Pipelined at one stage per cycle, each stage must fit in the
+        // 0.588 ns cycle target (§5.3).
+        assert!(s.stage_latency_ns < 0.588);
+
+        assert_eq!(ComparatorTree::new(1).structure().depth, 0);
+        assert_eq!(ComparatorTree::new(2).structure().depth, 1);
+        assert_eq!(ComparatorTree::new(5).structure().depth, 3);
+    }
+
+    #[test]
+    fn matches_software_minimum_on_random_inputs() {
+        // Deterministic pseudo-random cross-check against an oracle.
+        let t = ComparatorTree::new(64);
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for _ in 0..200 {
+            let coords: Vec<Option<u32>> = (0..64)
+                .map(|_| {
+                    let v = next();
+                    if v % 5 == 0 {
+                        None
+                    } else {
+                        Some((v >> 32) as u32 % 100)
+                    }
+                })
+                .collect();
+            let got = t.find_min(&coords);
+            let want_min = coords.iter().flatten().min().copied();
+            match (got, want_min) {
+                (None, None) => {}
+                (Some(r), Some(m)) => {
+                    assert_eq!(r.min, m);
+                    for (i, c) in coords.iter().enumerate() {
+                        let in_mask = r.mask & (1 << i) != 0;
+                        assert_eq!(in_mask, *c == Some(m), "lane {i}");
+                    }
+                }
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_oversized_tree() {
+        ComparatorTree::new(65);
+    }
+}

@@ -1,0 +1,469 @@
+//! Functional model of the CSC → tiled-DCSR conversion unit (Figures 13–14).
+//!
+//! One [`StripConverter`] models the engine state for one vertical strip:
+//!
+//! 1. `boundary_ptr` and `frontier_ptr` are loaded from the CSC `col_ptr`
+//!    (step ① of Figure 13) — two N-element pointer arrays (Figure 14 ❶);
+//! 2. each step, lanes with remaining elements present their frontier row
+//!    coordinate to the comparator tree, which returns the minimum row and
+//!    the set of lanes holding it (❷–❸);
+//! 3. the winning lanes' elements are copied out as one DCSR row (value,
+//!    col_idx; row_ptr incremented by the lane count; row_idx = the minimum
+//!    row coordinate), and their frontiers advance (❹–❺);
+//! 4. repeat until the lanes sweep the designated tile, then return the
+//!    tile (④ of Figure 13).
+//!
+//! The converter is *stateful across tiles* in a strip: walking tiles
+//! top-to-bottom needs no re-scanning (sequential access), and random tile
+//! access repositions the frontier by binary search on the CSC columns —
+//! both properties §4.1 credits to the CSC baseline format.
+
+use crate::comparator::ComparatorTree;
+use nmt_formats::{Csc, DcsrTile, Index, SparseMatrix};
+
+/// Byte cost of one streamed CSC element: a 4-byte row index plus a 4-byte
+/// fp32 value ("8-byte input data", §5.3).
+pub const INPUT_BYTES_PER_ELEM: u64 = 8;
+
+/// Running hardware-activity counters for one converter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConversionStats {
+    /// Comparator-tree passes performed (one per emitted DCSR row, plus
+    /// one concluding pass that finds the tile exhausted).
+    pub comparator_passes: u64,
+    /// Elements converted (CSC entries consumed = DCSR entries produced).
+    pub elements: u64,
+    /// DCSR rows emitted (non-empty row segments).
+    pub rows_emitted: u64,
+    /// Tiles produced.
+    pub tiles: u64,
+    /// Bytes read from DRAM: column-pointer loads + streamed elements.
+    pub input_bytes: u64,
+    /// Bytes of tiled-DCSR stream sent to the requesting SM over the Xbar.
+    pub output_bytes: u64,
+}
+
+/// Stateful converter for one vertical strip of a CSC matrix.
+#[derive(Debug, Clone)]
+pub struct StripConverter<'a> {
+    csc: &'a Csc,
+    strip_id: usize,
+    col_start: usize,
+    width: usize,
+    /// Absolute index of each lane's next element in the CSC arrays.
+    frontier: Vec<usize>,
+    /// Absolute end index of each lane's column.
+    boundary: Vec<usize>,
+    tree: ComparatorTree,
+    stats: ConversionStats,
+}
+
+impl<'a> StripConverter<'a> {
+    /// Position a converter at the top of strip `strip_id` (width
+    /// `tile_w`). Panics if the strip is outside the matrix.
+    pub fn new(csc: &'a Csc, strip_id: usize, tile_w: usize) -> Self {
+        assert!(tile_w > 0 && tile_w <= 64, "engine width is 1..=64 columns");
+        let ncols = csc.shape().ncols;
+        let col_start = strip_id * tile_w;
+        assert!(col_start < ncols.max(1), "strip {strip_id} beyond matrix");
+        // A zero-column matrix yields a zero-lane converter that emits
+        // only empty tiles (the comparator tree still needs >= 1 lane, so
+        // clamp and guard the pointer loads).
+        let width = tile_w
+            .min(ncols.saturating_sub(col_start))
+            .max(1)
+            .min(ncols.max(1));
+        let lanes = width.min(ncols.saturating_sub(col_start));
+        let colptr = csc.colptr();
+        let frontier: Vec<usize> = (0..lanes).map(|i| colptr[col_start + i] as usize).collect();
+        let boundary: Vec<usize> = (0..lanes)
+            .map(|i| colptr[col_start + i + 1] as usize)
+            .collect();
+        let mut stats = ConversionStats::default();
+        // Loading boundary_ptr + frontier_ptr from col_ptr: 2 N-element
+        // 4-byte arrays (Figure 14 ❶).
+        stats.input_bytes += 2 * width as u64 * 4;
+        Self {
+            csc,
+            strip_id,
+            col_start,
+            width,
+            frontier,
+            boundary,
+            tree: ComparatorTree::new(lanes.max(1)),
+            stats,
+        }
+    }
+
+    /// The strip index this converter serves.
+    pub fn strip_id(&self) -> usize {
+        self.strip_id
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> ConversionStats {
+        self.stats
+    }
+
+    /// Reposition every lane to the first element with row ≥ `row_start`
+    /// (random tile access; binary search per column, §4.1).
+    pub fn seek(&mut self, row_start: Index) {
+        for i in 0..self.frontier.len() {
+            self.frontier[i] = self.csc.col_frontier_at(self.col_start + i, row_start);
+        }
+    }
+
+    /// Current lane coordinates, masked to rows below `row_end`.
+    fn lane_coords(&self, row_end: Index) -> Vec<Option<u32>> {
+        let rowidx = self.csc.rowidx();
+        (0..self.frontier.len())
+            .map(|i| {
+                if self.frontier[i] < self.boundary[i] {
+                    let r = rowidx[self.frontier[i]];
+                    (r < row_end).then_some(r)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Convert the next `tile_h` rows starting at `row_start` into one
+    /// DCSR tile (the `GetDCSRTile` operation of Figure 11, minus the
+    /// request plumbing). Lanes must already be at or past `row_start`
+    /// (they are, after sequential use or `seek`).
+    pub fn next_tile(&mut self, row_start: Index, tile_h: usize) -> DcsrTile {
+        let nrows = self.csc.shape().nrows;
+        let height = tile_h.min(nrows.saturating_sub(row_start as usize)).max(1);
+        let row_end = row_start + height as Index;
+        let mut tile = DcsrTile {
+            row_start,
+            col_start: self.col_start as Index,
+            height,
+            width: self.width,
+            rowptr: vec![0],
+            ..DcsrTile::default()
+        };
+        let values = self.csc.values();
+        loop {
+            self.stats.comparator_passes += 1;
+            let mut coords = self.lane_coords(row_end);
+            if coords.is_empty() {
+                coords.push(None); // zero-lane converter: always exhausted
+            }
+            let Some(min) = self.tree.find_min(&coords) else {
+                break;
+            };
+            // Emit one DCSR row: all lanes at the minimum row coordinate,
+            // in ascending lane (= column) order.
+            tile.rowidx.push(min.min - row_start);
+            for lane in 0..self.frontier.len() {
+                if min.mask & (1 << lane) != 0 {
+                    tile.colidx.push(lane as Index);
+                    tile.values.push(values[self.frontier[lane]]);
+                    self.frontier[lane] += 1;
+                    self.stats.elements += 1;
+                    self.stats.input_bytes += INPUT_BYTES_PER_ELEM;
+                }
+            }
+            tile.rowptr.push(tile.colidx.len() as Index);
+            self.stats.rows_emitted += 1;
+        }
+        self.stats.tiles += 1;
+        self.stats.output_bytes += (tile.values.len() * 4
+            + tile.colidx.len() * 4
+            + tile.rowidx.len() * 4
+            + tile.rowptr.len() * 4) as u64;
+        debug_assert!(tile.validate().is_ok(), "engine produced an invalid tile");
+        tile
+    }
+
+    /// Convert the whole strip as consecutive `tile_h`-tall tiles.
+    pub fn convert_strip(&mut self, tile_h: usize) -> Vec<DcsrTile> {
+        let nrows = self.csc.shape().nrows;
+        let mut tiles = Vec::with_capacity(nrows.div_ceil(tile_h.max(1)));
+        let mut row_start = 0;
+        while (row_start as usize) < nrows.max(1) {
+            tiles.push(self.next_tile(row_start, tile_h));
+            row_start += tile_h as Index;
+            if nrows == 0 {
+                break;
+            }
+        }
+        tiles
+    }
+}
+
+/// Convert an entire CSC matrix to tiled DCSR through the engine model —
+/// the online equivalent of [`nmt_formats::TiledDcsr::from_csr`]. Returns
+/// the tiles per strip and the merged hardware-activity counters.
+pub fn convert_matrix(
+    csc: &Csc,
+    tile_w: usize,
+    tile_h: usize,
+) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
+    let ncols = csc.shape().ncols;
+    let nstrips = ncols.div_ceil(tile_w).max(1);
+    let mut strips = Vec::with_capacity(nstrips);
+    let mut total = ConversionStats::default();
+    for s in 0..nstrips {
+        let mut conv = StripConverter::new(csc, s, tile_w);
+        strips.push(conv.convert_strip(tile_h));
+        let st = conv.stats();
+        total.comparator_passes += st.comparator_passes;
+        total.elements += st.elements;
+        total.rows_emitted += st.rows_emitted;
+        total.tiles += st.tiles;
+        total.input_bytes += st.input_bytes;
+        total.output_bytes += st.output_bytes;
+    }
+    (strips, total)
+}
+
+/// CSR → tiled-**DCSC** conversion "using the same engine" (§4.1).
+///
+/// A CSR image of `A` is, byte for byte, a CSC image of `Aᵀ`
+/// (`rowptr → colptr`, `colidx → rowidx`), so feeding it to the engine
+/// produces DCSR tiles of `Aᵀ` — which are exactly DCSC tiles of `A` with
+/// the roles of `rowidx`/`colidx` swapped. This is the escape hatch for
+/// wide matrices whose CSC `colptr` would dominate storage: keep CSR in
+/// memory and let SM-side DCSC kernels consume the engine's output.
+///
+/// Returns the tiles of `Aᵀ` (strip-major over `A`'s *rows*) plus the
+/// engine counters; interpret each [`DcsrTile`]'s `rowidx` as non-empty
+/// **columns** of `A` and `colidx` as **rows** of `A`.
+pub fn convert_matrix_dcsc(
+    csr: &nmt_formats::Csr,
+    tile_w: usize,
+    tile_h: usize,
+) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
+    let shape = csr.shape();
+    // Reinterpret the CSR arrays as CSC of the transpose — no data
+    // movement, exactly what the hardware would see.
+    let as_csc_of_t = Csc::new(
+        shape.ncols,
+        shape.nrows,
+        csr.rowptr().to_vec(),
+        csr.colidx().to_vec(),
+        csr.values().to_vec(),
+    )
+    .expect("CSR arrays are a valid CSC image of the transpose");
+    convert_matrix(&as_csc_of_t, tile_w, tile_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_formats::{Coo, Csr, SparseMatrix, TiledDcsr};
+
+    /// The Figure 13 walk-through strip: 5 rows x 3 cols,
+    /// col0 = {a0@0, a2@2, a4@4}, col1 = {b0@0, b1@1, b4@4},
+    /// col2 = {c0@0, c2@2}.
+    fn figure13_csc() -> Csc {
+        Csc::new(
+            5,
+            3,
+            vec![0, 3, 6, 8],
+            vec![0, 2, 4, 0, 1, 4, 0, 2],
+            vec![10.0, 12.0, 14.0, 20.0, 21.0, 24.0, 30.0, 32.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure13_walkthrough() {
+        let csc = figure13_csc();
+        let mut conv = StripConverter::new(&csc, 0, 3);
+        let tile = conv.next_tile(0, 5);
+        // Expected DCSR (Figure 13, bottom right):
+        // value  = a0 b0 c0 | b1 | a2 c2 | a4 b4
+        // colidx = 0  1  2  | 1  | 0  2  | 0  1
+        // rowptr = 0 3 4 6 8 ; rowidx = 0 1 2 4
+        assert_eq!(
+            tile.values,
+            vec![10.0, 20.0, 30.0, 21.0, 12.0, 32.0, 14.0, 24.0]
+        );
+        assert_eq!(tile.colidx, vec![0, 1, 2, 1, 0, 2, 0, 1]);
+        assert_eq!(tile.rowptr, vec![0, 3, 4, 6, 8]);
+        assert_eq!(tile.rowidx, vec![0, 1, 2, 4]);
+        let st = conv.stats();
+        assert_eq!(st.elements, 8);
+        assert_eq!(st.rows_emitted, 4);
+        // 4 emitting passes + 1 concluding pass.
+        assert_eq!(st.comparator_passes, 5);
+        // 2 pointer arrays of 3 lanes + 8 elements x 8 bytes.
+        assert_eq!(st.input_bytes, 24 + 64);
+    }
+
+    fn random_csr(n: usize, nnz: usize, seed: u64) -> Csr {
+        // Simple LCG-based deterministic scatter.
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut coo = Coo::new(n, n).unwrap();
+        for _ in 0..nnz {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            let r = ((state >> 33) as usize) % n;
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            let c = ((state >> 33) as usize) % n;
+            coo.push(r as u32, c as u32, (r * n + c) as f32 + 0.5)
+                .unwrap();
+        }
+        coo.canonicalize();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn online_conversion_matches_offline_tiling() {
+        // The engine's output must be bit-identical to offline tiling.
+        for &(n, nnz, tile) in &[(60usize, 200usize, 16usize), (100, 50, 32), (64, 64, 64)] {
+            let csr = random_csr(n, nnz, n as u64);
+            let csc = csr.to_csc();
+            let offline = TiledDcsr::from_csr(&csr, tile, tile).unwrap();
+            let (online, stats) = convert_matrix(&csc, tile, tile);
+            assert_eq!(online.len(), offline.strips().len());
+            for (s, strip) in offline.strips().iter().enumerate() {
+                assert_eq!(&online[s], strip, "strip {s} differs (n={n})");
+            }
+            assert_eq!(stats.elements as usize, csr.nnz());
+        }
+    }
+
+    #[test]
+    fn sequential_tiles_share_frontier_state() {
+        let csc = figure13_csc();
+        let mut conv = StripConverter::new(&csc, 0, 3);
+        let t0 = conv.next_tile(0, 2); // rows 0..2
+        let t1 = conv.next_tile(2, 2); // rows 2..4
+        let t2 = conv.next_tile(4, 2); // row 4
+        assert_eq!(t0.rowidx, vec![0, 1]);
+        assert_eq!(t1.rowidx, vec![0]); // row 2 local
+        assert_eq!(t2.rowidx, vec![0]); // row 4 local
+        assert_eq!(
+            t0.nnz() + t1.nnz() + t2.nnz(),
+            csc.nnz(),
+            "tiles must partition the strip"
+        );
+    }
+
+    #[test]
+    fn seek_supports_random_tile_access() {
+        let csc = figure13_csc();
+        // Jump straight to the tile at rows 2..4 without converting 0..2.
+        let mut conv = StripConverter::new(&csc, 0, 3);
+        conv.seek(2);
+        let tile = conv.next_tile(2, 2);
+        assert_eq!(tile.rowidx, vec![0]);
+        assert_eq!(tile.values, vec![12.0, 32.0]); // a2, c2
+                                                   // Seek back to the top reproduces the first tile.
+        conv.seek(0);
+        let t0 = conv.next_tile(0, 2);
+        assert_eq!(t0.values, vec![10.0, 20.0, 30.0, 21.0]);
+    }
+
+    #[test]
+    fn second_strip_has_local_columns() {
+        let csr = random_csr(40, 120, 9);
+        let csc = csr.to_csc();
+        let mut conv = StripConverter::new(&csc, 1, 16);
+        let tiles = conv.convert_strip(16);
+        for t in &tiles {
+            assert_eq!(t.col_start, 16);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_strip_produces_empty_tiles() {
+        // Matrix with entries only in column 0; strip 1 is empty.
+        let coo = Coo::from_triplets(8, 8, &[0, 3], &[0, 0], &[1.0, 2.0]).unwrap();
+        let csc = Csc::from_coo(&coo);
+        let mut conv = StripConverter::new(&csc, 1, 4);
+        let tiles = conv.convert_strip(4);
+        assert_eq!(tiles.len(), 2);
+        assert!(tiles.iter().all(|t| t.is_empty()));
+        assert_eq!(conv.stats().elements, 0);
+        // Still pays the pointer-array load and one concluding pass/tile.
+        assert_eq!(conv.stats().comparator_passes, 2);
+    }
+
+    #[test]
+    fn output_bytes_match_tile_footprint() {
+        let csc = figure13_csc();
+        let mut conv = StripConverter::new(&csc, 0, 3);
+        let tile = conv.next_tile(0, 5);
+        let expected = tile.metadata_bytes() + tile.data_bytes();
+        assert_eq!(conv.stats().output_bytes as usize, expected);
+    }
+
+    #[test]
+    fn dcsc_conversion_is_tiling_of_the_transpose() {
+        let csr = random_csr(48, 150, 21);
+        let (tiles, stats) = convert_matrix_dcsc(&csr, 16, 16);
+        let expected = TiledDcsr::from_csr(&csr.transpose(), 16, 16).unwrap();
+        assert_eq!(tiles.len(), expected.strips().len());
+        for (s, strip) in expected.strips().iter().enumerate() {
+            assert_eq!(&tiles[s], strip, "strip {s}");
+        }
+        assert_eq!(stats.elements as usize, csr.nnz());
+        // Reassembling the tiles yields A transposed; its non-empty rows
+        // are A's non-empty columns (the DCSC semantics).
+        let back = expected.to_csr();
+        assert_eq!(back.transpose(), csr);
+    }
+
+    #[test]
+    fn dcsc_of_wide_matrix() {
+        // The §4.1 motivation: a wide matrix whose CSC colptr would be
+        // large converts through its compact CSR image instead.
+        let coo = Coo::from_triplets(4, 200, &[0, 1, 3], &[5, 150, 5], &[1.0, 2.0, 3.0]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let (tiles, stats) = convert_matrix_dcsc(&csr, 4, 64);
+        assert_eq!(stats.elements, 3);
+        // One strip over A's 4 rows; tiles cover A's 200 columns.
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].len(), 200usize.div_ceil(64));
+        let nnz: usize = tiles[0].iter().map(|t| t.nnz()).sum();
+        assert_eq!(nnz, 3);
+    }
+
+    #[test]
+    fn ragged_last_strip() {
+        let csr = random_csr(20, 60, 3);
+        let csc = csr.to_csc();
+        // 20 cols with 16-wide strips: strip 1 is 4 wide.
+        let (tiles, _) = convert_matrix(&csc, 16, 16);
+        assert_eq!(tiles.len(), 2);
+        let offline = TiledDcsr::from_csr(&csr, 16, 16).unwrap();
+        assert_eq!(tiles[1], offline.strips()[1]);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use nmt_formats::Csc;
+
+    #[test]
+    fn zero_column_matrix_converts_to_empty_tiles() {
+        // Review regression: a zero-column CSC used to panic initializing
+        // the frontier pointers.
+        let csc = Csc::new(4, 0, vec![0], vec![], vec![]).unwrap();
+        let (tiles, stats) = convert_matrix(&csc, 16, 16);
+        assert_eq!(tiles.len(), 1);
+        assert!(tiles[0].iter().all(|t| t.is_empty()));
+        assert_eq!(stats.elements, 0);
+    }
+
+    #[test]
+    fn zero_row_matrix_converts_to_empty_tiles() {
+        let csc = Csc::new(0, 8, vec![0; 9], vec![], vec![]).unwrap();
+        let (tiles, stats) = convert_matrix(&csc, 4, 4);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(stats.elements, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Data layout and load balancing across FB partitions (§6.1, Figure 17).
+//!
+//! The engine can only transform data resident in its own FB partition, so
+//! the layout of the CSC strips determines load balance. Allocating one
+//! whole strip per partition "causes a camping problem where multiple SMs
+//! pound on the same FB partition". The fix is to split strips into tiles
+//! and rotate the tile→partition mapping so consecutive tiles of a strip
+//! live in different partitions (Figure 17, right); an SM moving to the
+//! next tile pays a small hand-off (`next_fb_ptr` + `col_idx_frontier`).
+
+use serde::{Deserialize, Serialize};
+
+/// How strip data maps onto FB partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Naive: strip `s` lives entirely in partition `s % P`
+    /// (Figure 17, left — the camping pathology).
+    StripPerPartition,
+    /// Tiles of each strip rotate across partitions with a per-strip
+    /// offset (Figure 17, right).
+    TileRotated,
+}
+
+impl Layout {
+    /// The partition owning tile `t` of strip `s` under this layout.
+    pub fn partition_of(self, strip: usize, tile: usize, num_partitions: usize) -> usize {
+        assert!(num_partitions > 0, "need at least one partition");
+        match self {
+            Layout::StripPerPartition => strip % num_partitions,
+            Layout::TileRotated => (strip + tile) % num_partitions,
+        }
+    }
+}
+
+/// Cost of advancing from one tile of a strip to the next when the next
+/// tile lives in a different FB partition: the current partition returns
+/// `next_fb_ptr` (8 bytes) and the live `col_idx_frontier` (4 bytes per
+/// engine lane), which must reach the next partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCost {
+    /// Engine width (columns per strip).
+    pub lanes: usize,
+}
+
+impl SwitchCost {
+    /// Bytes transferred per partition switch.
+    pub fn bytes_per_switch(&self) -> u64 {
+        8 + 4 * self.lanes as u64
+    }
+
+    /// The relative traffic overhead of switching partitions every
+    /// `rows_per_switch` non-zero tile rows, when an average non-zero row
+    /// carries `avg_row_bytes` of useful DCSR payload (metadata + data).
+    ///
+    /// §6.1's finding: "the overhead … adds negligible performance impacts
+    /// if the number of non-zero tile rows stored in an FB partition is
+    /// not less than 64" — i.e. this ratio is ≪ 1 at
+    /// `rows_per_switch ≥ 64`.
+    pub fn overhead_fraction(&self, rows_per_switch: usize, avg_row_bytes: f64) -> f64 {
+        assert!(rows_per_switch > 0, "rows_per_switch must be positive");
+        let useful = rows_per_switch as f64 * avg_row_bytes;
+        self.bytes_per_switch() as f64 / useful
+    }
+}
+
+/// Assign every `(strip, tile)` of a tiled matrix to a partition and
+/// return, per partition, the total bytes it will serve — the quantity
+/// whose max/mean ratio measures camping.
+pub fn partition_loads(layout: Layout, tile_bytes: &[Vec<u64>], num_partitions: usize) -> Vec<u64> {
+    let mut loads = vec![0u64; num_partitions];
+    for (s, tiles) in tile_bytes.iter().enumerate() {
+        for (t, &bytes) in tiles.iter().enumerate() {
+            loads[layout.partition_of(s, t, num_partitions)] += bytes;
+        }
+    }
+    loads
+}
+
+/// Max-over-mean load imbalance of a partition load vector (1.0 = perfect).
+pub fn imbalance(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_layout_camps_when_few_strips() {
+        // 2 hot strips on 4 partitions: half the machine idles.
+        let tile_bytes: Vec<Vec<u64>> = vec![vec![100; 8], vec![100; 8]];
+        let naive = partition_loads(Layout::StripPerPartition, &tile_bytes, 4);
+        assert_eq!(naive[2], 0);
+        assert_eq!(naive[3], 0);
+        assert!(imbalance(&naive) >= 2.0);
+        let rotated = partition_loads(Layout::TileRotated, &tile_bytes, 4);
+        assert!(imbalance(&rotated) < imbalance(&naive));
+        assert!(
+            rotated.iter().all(|&l| l > 0),
+            "rotation spreads every partition"
+        );
+    }
+
+    #[test]
+    fn rotation_balances_skewed_strips() {
+        // One heavy strip, three light: rotation spreads the heavy strip's
+        // tiles over all partitions.
+        let tile_bytes: Vec<Vec<u64>> =
+            vec![vec![1000; 16], vec![10; 16], vec![10; 16], vec![10; 16]];
+        let naive = imbalance(&partition_loads(Layout::StripPerPartition, &tile_bytes, 4));
+        let rot = imbalance(&partition_loads(Layout::TileRotated, &tile_bytes, 4));
+        assert!(naive > 3.0, "naive {naive}");
+        assert!(rot < 1.05, "rotated {rot}");
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for layout in [Layout::StripPerPartition, Layout::TileRotated] {
+            for s in 0..10 {
+                for t in 0..10 {
+                    let p = layout.partition_of(s, t, 4);
+                    assert!(p < 4);
+                    assert_eq!(p, layout.partition_of(s, t, 4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn switch_cost_bytes() {
+        // 64-lane engine: 8 + 256 = 264 bytes per hand-off.
+        let c = SwitchCost { lanes: 64 };
+        assert_eq!(c.bytes_per_switch(), 264);
+    }
+
+    #[test]
+    fn overhead_negligible_at_64_rows() {
+        // A typical non-zero DCSR tile row: rowidx + rowptr entry (8 B) and
+        // a couple of elements (2 x 8 B) ≈ 24 B of useful payload.
+        let c = SwitchCost { lanes: 64 };
+        let at64 = c.overhead_fraction(64, 24.0);
+        assert!(at64 < 0.2, "overhead at 64 rows should be small: {at64}");
+        let at1 = c.overhead_fraction(1, 24.0);
+        assert!(at1 > 1.0, "switching every row must be expensive: {at1}");
+        // Monotone decreasing in the switch granularity.
+        assert!(c.overhead_fraction(128, 24.0) < at64);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+        assert!((imbalance(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pipeline timing and prefetch-buffer sizing for the conversion unit
+//! (§5.3 "Throughput demand" and "Internal buffer demand").
+//!
+//! The engine's goal is to convert at least as fast as DRAM can deliver
+//! input, "thereby always providing better performance than the baseline".
+//! The worst case for throughput is emitting a single-element DCSR row:
+//! 8 bytes of input (4-byte index + 4-byte fp32 value) must then be
+//! consumed every 0.588 ns — one HBM2 pseudo-channel's 13.6 GB/s rate —
+//! or every 0.882 ns for the 12-byte fp64 case. The unit is pipelined so
+//! that its longest stage (the 0.339 ns coordinate comparator) fits well
+//! inside that cycle budget.
+
+use crate::comparator::TreeStructure;
+use crate::convert::ConversionStats;
+
+/// Time to determine which column entries were consumed and must be
+/// refilled (steps ❹–❺ of Figure 14): 3.3 ns (§5.3).
+pub const COLUMN_DEMAND_NS: f64 = 3.3;
+
+/// DRAM column-access latency (CL): 15 ns (§5.3).
+pub const DRAM_CL_NS: f64 = 15.0;
+
+/// Input element size for fp32 matrices: 4-byte index + 4-byte value.
+pub const ELEM_BYTES_FP32: u64 = 8;
+
+/// Input element size for fp64 matrices: 4-byte index + 8-byte value.
+pub const ELEM_BYTES_FP64: u64 = 12;
+
+/// Timing model of one conversion unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineTiming {
+    /// Target cycle time in ns (the channel delivers one element per cycle).
+    pub cycle_ns: f64,
+    /// Bytes of one input element at this precision.
+    pub elem_bytes: u64,
+    /// Pipeline depth in stages (comparator tree depth + input fetch +
+    /// frontier update + output drive).
+    pub pipeline_depth: usize,
+    /// Longest stage latency in ns.
+    pub max_stage_ns: f64,
+}
+
+impl EngineTiming {
+    /// Build the timing model for a channel of `channel_gbps` and a
+    /// comparator tree of the given structure, at fp32 precision.
+    pub fn fp32(channel_gbps: f64, tree: &TreeStructure) -> Self {
+        Self::with_elem(channel_gbps, tree, ELEM_BYTES_FP32)
+    }
+
+    /// Same at fp64 precision (12-byte elements).
+    pub fn fp64(channel_gbps: f64, tree: &TreeStructure) -> Self {
+        Self::with_elem(channel_gbps, tree, ELEM_BYTES_FP64)
+    }
+
+    fn with_elem(channel_gbps: f64, tree: &TreeStructure, elem_bytes: u64) -> Self {
+        assert!(channel_gbps > 0.0, "channel bandwidth must be positive");
+        Self {
+            cycle_ns: elem_bytes as f64 / channel_gbps,
+            elem_bytes,
+            // boundary check/issue + comparator stages + frontier update +
+            // DCSR output drive.
+            pipeline_depth: tree.depth + 3,
+            max_stage_ns: tree.stage_latency_ns,
+        }
+    }
+
+    /// True when every pipeline stage fits in the cycle budget — the §5.3
+    /// feasibility condition ("the longest latency in our pipeline is
+    /// 0.339 ns", against a 0.588 ns target).
+    pub fn meets_throughput(&self) -> bool {
+        self.max_stage_ns <= self.cycle_ns
+    }
+
+    /// Time to convert the work described by `stats`, assuming the prefetch
+    /// buffer hides column refill latency: the pipeline retires one
+    /// comparator pass per cycle and streams at most one input element per
+    /// cycle, so the bound is `max(passes, elements)` plus the fill.
+    pub fn conversion_time_ns(&self, stats: &ConversionStats) -> f64 {
+        let cycles = stats.comparator_passes.max(stats.elements) + self.pipeline_depth as u64;
+        cycles as f64 * self.cycle_ns
+    }
+
+    /// Sustained conversion bandwidth for `stats` in GB/s of input stream.
+    pub fn conversion_gbps(&self, stats: &ConversionStats) -> f64 {
+        let t = self.conversion_time_ns(stats);
+        if t == 0.0 {
+            0.0
+        } else {
+            (stats.elements * self.elem_bytes) as f64 / t
+        }
+    }
+}
+
+/// The per-column prefetch buffer that hides the latency of re-supplying
+/// column data from DRAM (§5.3 "Internal buffer demand").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchBuffer {
+    /// Bytes of buffer per column lane.
+    pub bytes_per_column: u64,
+    /// Number of column lanes (64 for the strip-wide engine).
+    pub columns: usize,
+}
+
+impl PrefetchBuffer {
+    /// The paper's configuration: 256 bytes per column, 64 columns =
+    /// 16 KB per conversion unit.
+    pub fn paper_default() -> Self {
+        Self {
+            bytes_per_column: 256,
+            columns: 64,
+        }
+    }
+
+    /// Size a buffer to hide `latency_ns` under the worst-case per-column
+    /// demand of one element per cycle, rounding up to a power of two.
+    pub fn sized_to_hide(latency_ns: f64, timing: &EngineTiming, columns: usize) -> Self {
+        let elems = (latency_ns / timing.cycle_ns).ceil() as u64;
+        let bytes = (elems * timing.elem_bytes).next_power_of_two();
+        Self {
+            bytes_per_column: bytes,
+            columns,
+        }
+    }
+
+    /// Total capacity of the unit's internal buffer.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_column * self.columns as u64
+    }
+
+    /// How long this buffer can feed one column at the worst-case rate of
+    /// one element per cycle — must cover [`COLUMN_DEMAND_NS`] +
+    /// [`DRAM_CL_NS`].
+    pub fn hideable_ns(&self, timing: &EngineTiming) -> f64 {
+        (self.bytes_per_column / timing.elem_bytes) as f64 * timing.cycle_ns
+    }
+
+    /// The latency that must be hidden: column-consumption bookkeeping plus
+    /// the DRAM column access.
+    pub fn required_hide_ns() -> f64 {
+        COLUMN_DEMAND_NS + DRAM_CL_NS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{ComparatorTree, STAGE_LATENCY_NS};
+
+    fn tree64() -> TreeStructure {
+        ComparatorTree::new(64).structure()
+    }
+
+    #[test]
+    fn fp32_cycle_matches_paper() {
+        // One HBM2 pseudo channel: 13.6 GB/s -> 8 B every 0.588 ns.
+        let t = EngineTiming::fp32(13.6, &tree64());
+        assert!((t.cycle_ns - 0.588).abs() < 0.001, "cycle {}", t.cycle_ns);
+        assert!(t.meets_throughput());
+    }
+
+    #[test]
+    fn fp64_cycle_matches_paper() {
+        // 12 B every 0.882 ns.
+        let t = EngineTiming::fp64(13.6, &tree64());
+        assert!((t.cycle_ns - 0.882).abs() < 0.001, "cycle {}", t.cycle_ns);
+        assert!(t.meets_throughput());
+    }
+
+    #[test]
+    fn stage_latency_fits_cycle() {
+        // §5.3: longest stage 0.339 ns < 0.588 ns cycle.
+        let t = EngineTiming::fp32(13.6, &tree64());
+        assert!((STAGE_LATENCY_NS - 0.339).abs() < 1e-12);
+        assert!(t.max_stage_ns < t.cycle_ns);
+    }
+
+    #[test]
+    fn paper_buffer_hides_required_latency() {
+        // 256 B / 8 B = 32 elements x 0.588 ns = 18.8 ns, covering the
+        // 3.3 + 15 = 18.3 ns supply latency — "to be able to hide 18.8 ns
+        // in both single-precision and double-precision cases".
+        let buf = PrefetchBuffer::paper_default();
+        assert_eq!(buf.total_bytes(), 16 * 1024); // 16 KB per unit
+        let t32 = EngineTiming::fp32(13.6, &tree64());
+        let hide32 = buf.hideable_ns(&t32);
+        assert!((hide32 - 18.8).abs() < 0.1, "hide {hide32}");
+        assert!(hide32 >= PrefetchBuffer::required_hide_ns());
+        // fp64: 256/12 = 21 elements x 0.882 = 18.8 ns as well.
+        let t64 = EngineTiming::fp64(13.6, &tree64());
+        let hide64 = buf.hideable_ns(&t64);
+        assert!(
+            hide64 >= PrefetchBuffer::required_hide_ns(),
+            "hide {hide64}"
+        );
+    }
+
+    #[test]
+    fn sized_to_hide_reproduces_256b() {
+        let t32 = EngineTiming::fp32(13.6, &tree64());
+        let buf = PrefetchBuffer::sized_to_hide(PrefetchBuffer::required_hide_ns(), &t32, 64);
+        assert_eq!(buf.bytes_per_column, 256);
+    }
+
+    #[test]
+    fn conversion_time_tracks_elements() {
+        let t = EngineTiming::fp32(13.6, &tree64());
+        let stats = ConversionStats {
+            comparator_passes: 100,
+            elements: 500,
+            rows_emitted: 100,
+            tiles: 1,
+            input_bytes: 4000,
+            output_bytes: 5000,
+        };
+        let ns = t.conversion_time_ns(&stats);
+        // 500 element cycles + 9 pipeline-fill cycles.
+        assert!((ns - 509.0 * t.cycle_ns).abs() < 1e-9);
+        // Sustained bandwidth approaches the channel rate.
+        assert!(t.conversion_gbps(&stats) > 13.0);
+    }
+
+    #[test]
+    fn worst_case_single_element_rows_still_match_channel() {
+        // One element per row: passes == elements (+1), throughput still one
+        // element per cycle -> the engine never falls behind the channel.
+        let t = EngineTiming::fp32(13.6, &tree64());
+        let stats = ConversionStats {
+            comparator_passes: 1001,
+            elements: 1000,
+            rows_emitted: 1000,
+            tiles: 1,
+            input_bytes: 8000,
+            output_bytes: 16000,
+        };
+        let gbps = t.conversion_gbps(&stats);
+        assert!(gbps > 13.4, "gbps {gbps}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Coordinate-list (COO) format — the interchange/deserialization format.
+//!
+//! Matrix Market files (the paper's input path, §4.1) are coordinate lists;
+//! every other format in this crate can be built from a [`Coo`].
+
+use crate::{
+    FormatError, Index, Shape, SparseMatrix, StorageSize, Value, INDEX_BYTES, VALUE_BYTES,
+};
+
+/// One explicit entry of a COO matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CooEntry {
+    /// Row index.
+    pub row: Index,
+    /// Column index.
+    pub col: Index,
+    /// Stored value.
+    pub val: Value,
+}
+
+impl CooEntry {
+    /// Convenience constructor.
+    pub fn new(row: Index, col: Index, val: Value) -> Self {
+        Self { row, col, val }
+    }
+}
+
+/// Coordinate-list sparse matrix.
+///
+/// Entries may be in any order and may contain duplicates until
+/// [`Coo::canonicalize`] is called (which sorts row-major and sums
+/// duplicates, matching Matrix Market semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<CooEntry>,
+}
+
+impl Coo {
+    /// Create an empty COO matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Result<Self, FormatError> {
+        check_dims(nrows, ncols)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Build from a list of entries, validating bounds.
+    pub fn from_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<CooEntry>,
+    ) -> Result<Self, FormatError> {
+        check_dims(nrows, ncols)?;
+        for e in &entries {
+            if e.row as usize >= nrows {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: "row",
+                    index: e.row,
+                    bound: nrows,
+                });
+            }
+            if e.col as usize >= ncols {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: "col",
+                    index: e.col,
+                    bound: ncols,
+                });
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            entries,
+        })
+    }
+
+    /// Build from parallel `(row, col, value)` triplet slices.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[Value],
+    ) -> Result<Self, FormatError> {
+        if rows.len() != cols.len() {
+            return Err(FormatError::LengthMismatch {
+                expected: rows.len(),
+                found: cols.len(),
+                name: "cols",
+            });
+        }
+        if rows.len() != vals.len() {
+            return Err(FormatError::LengthMismatch {
+                expected: rows.len(),
+                found: vals.len(),
+                name: "vals",
+            });
+        }
+        let entries = rows
+            .iter()
+            .zip(cols)
+            .zip(vals)
+            .map(|((&r, &c), &v)| CooEntry::new(r, c, v))
+            .collect();
+        Self::from_entries(nrows, ncols, entries)
+    }
+
+    /// Push one entry (bounds-checked).
+    pub fn push(&mut self, row: Index, col: Index, val: Value) -> Result<(), FormatError> {
+        if row as usize >= self.nrows {
+            return Err(FormatError::IndexOutOfBounds {
+                axis: "row",
+                index: row,
+                bound: self.nrows,
+            });
+        }
+        if col as usize >= self.ncols {
+            return Err(FormatError::IndexOutOfBounds {
+                axis: "col",
+                index: col,
+                bound: self.ncols,
+            });
+        }
+        self.entries.push(CooEntry::new(row, col, val));
+        Ok(())
+    }
+
+    /// The entry list.
+    pub fn entries(&self) -> &[CooEntry] {
+        &self.entries
+    }
+
+    /// Sort row-major (row, then column) and merge duplicate coordinates by
+    /// summing their values. Entries that sum to exactly zero are kept (they
+    /// remain "explicit zeros", as in SuiteSparse pattern matrices).
+    pub fn canonicalize(&mut self) {
+        self.entries.sort_unstable_by_key(|a| (a.row, a.col));
+        let mut out: Vec<CooEntry> = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.row == e.row && last.col == e.col => last.val += e.val,
+                _ => out.push(e),
+            }
+        }
+        self.entries = out;
+    }
+
+    /// True when entries are sorted row-major with no duplicate coordinates.
+    pub fn is_canonical(&self) -> bool {
+        self.entries
+            .windows(2)
+            .all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col))
+    }
+
+    /// Transpose: swaps rows and columns (entries stay unsorted).
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| CooEntry::new(e.col, e.row, e.val))
+                .collect(),
+        }
+    }
+
+    /// Densify into a [`crate::DenseMatrix`] (for small test matrices).
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.nrows, self.ncols);
+        for e in &self.entries {
+            d.add(e.row as usize, e.col as usize, e.val);
+        }
+        d
+    }
+}
+
+pub(crate) fn check_dims(nrows: usize, ncols: usize) -> Result<(), FormatError> {
+    if nrows > u32::MAX as usize {
+        return Err(FormatError::DimensionOverflow { dim: nrows });
+    }
+    if ncols > u32::MAX as usize {
+        return Err(FormatError::DimensionOverflow { dim: ncols });
+    }
+    Ok(())
+}
+
+impl SparseMatrix for Coo {
+    fn shape(&self) -> Shape {
+        Shape::new(self.nrows, self.ncols)
+    }
+
+    fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl StorageSize for Coo {
+    fn metadata_bytes(&self) -> usize {
+        // row + col index per entry.
+        self.entries.len() * 2 * INDEX_BYTES
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.entries.len() * VALUE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // The 3x4 matrix of the paper's Figure 1:
+        //   row0: a b c .      row1: . . . .      row2: . x . y
+        Coo::from_triplets(
+            3,
+            4,
+            &[0, 0, 0, 2, 2],
+            &[0, 1, 2, 1, 3],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_properties() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.shape(), Shape::new(3, 4));
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        assert!(Coo::from_triplets(2, 2, &[2], &[0], &[1.0]).is_err());
+        assert!(Coo::from_triplets(2, 2, &[0], &[2], &[1.0]).is_err());
+        let mut m = Coo::new(2, 2).unwrap();
+        assert!(m.push(0, 5, 1.0).is_err());
+        assert!(m.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn triplet_length_mismatch_rejected() {
+        assert!(Coo::from_triplets(2, 2, &[0, 1], &[0], &[1.0, 2.0]).is_err());
+        assert!(Coo::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_merges() {
+        let mut m =
+            Coo::from_triplets(3, 3, &[2, 0, 2, 0], &[1, 2, 1, 0], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(!m.is_canonical());
+        m.canonicalize();
+        assert!(m.is_canonical());
+        assert_eq!(m.nnz(), 3);
+        // (2,1) merged: 1 + 3 = 4.
+        let e = m
+            .entries()
+            .iter()
+            .find(|e| e.row == 2 && e.col == 1)
+            .unwrap();
+        assert_eq!(e.val, 4.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), Shape::new(4, 3));
+        let tt = t.transpose();
+        assert_eq!(tt.entries().len(), m.entries().len());
+        assert_eq!(tt.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn to_dense_sums_duplicates() {
+        let m = Coo::from_triplets(2, 2, &[0, 0], &[0, 0], &[1.5, 2.5]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = sample();
+        assert_eq!(m.metadata_bytes(), 5 * 8);
+        assert_eq!(m.data_bytes(), 5 * 4);
+        assert_eq!(m.storage_bytes(), 5 * 12);
+    }
+
+    #[test]
+    fn dimension_overflow_rejected() {
+        assert!(Coo::new(u32::MAX as usize + 1, 4).is_err());
+    }
+}

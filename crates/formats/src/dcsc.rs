@@ -1,0 +1,316 @@
+//! Densified CSC (DCSC) — the column-wise mirror of DCSR.
+//!
+//! §4.1: for non-square matrices "CSC's col_ptr and CSR's row_ptr can have
+//! different storage size, and CSC becomes larger when the sparse matrix
+//! is wide. If this is common in a workload, a DCSC kernel can potentially
+//! be a host kernel at SMs, performing CSR-to-DCSC conversion using the
+//! same engine." DCSC stores only non-empty columns through a `colidx`
+//! indirection, exactly as DCSR stores only non-empty rows.
+
+use crate::coo::check_dims;
+use crate::{
+    Csc, Csr, DenseMatrix, FormatError, Index, Shape, SparseMatrix, StorageSize, Value,
+    INDEX_BYTES, VALUE_BYTES,
+};
+
+/// Densified CSC sparse matrix: `colidx` lists the non-empty columns,
+/// `colptr` spans only those columns, `rowidx`/`values` hold the entries
+/// column-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsc {
+    nrows: usize,
+    ncols: usize,
+    colidx: Vec<Index>,
+    colptr: Vec<Index>,
+    rowidx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Dcsc {
+    /// Build from raw arrays, validating all DCSC invariants.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        colidx: Vec<Index>,
+        colptr: Vec<Index>,
+        rowidx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, FormatError> {
+        check_dims(nrows, ncols)?;
+        if colptr.len() != colidx.len() + 1 {
+            return Err(FormatError::LengthMismatch {
+                expected: colidx.len() + 1,
+                found: colptr.len(),
+                name: "colptr",
+            });
+        }
+        if rowidx.len() != values.len() {
+            return Err(FormatError::LengthMismatch {
+                expected: rowidx.len(),
+                found: values.len(),
+                name: "values",
+            });
+        }
+        if colptr.first().copied().unwrap_or(0) != 0
+            || colptr.last().copied().unwrap_or(0) as usize != rowidx.len()
+        {
+            return Err(FormatError::MalformedPointerArray {
+                name: "colptr",
+                detail: "must span 0..nnz".into(),
+            });
+        }
+        if colptr.windows(2).any(|w| w[0] >= w[1]) && !rowidx.is_empty() {
+            return Err(FormatError::MalformedPointerArray {
+                name: "colptr",
+                detail: "densified columns must be non-empty".into(),
+            });
+        }
+        if colidx.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(FormatError::NotCanonical {
+                detail: "colidx must be strictly increasing".into(),
+            });
+        }
+        if let Some(&last) = colidx.last() {
+            if last as usize >= ncols {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: "col",
+                    index: last,
+                    bound: ncols,
+                });
+            }
+        }
+        for i in 0..colidx.len() {
+            let (lo, hi) = (colptr[i] as usize, colptr[i + 1] as usize);
+            let col_rows = &rowidx[lo..hi];
+            for &r in col_rows {
+                if r as usize >= nrows {
+                    return Err(FormatError::IndexOutOfBounds {
+                        axis: "row",
+                        index: r,
+                        bound: nrows,
+                    });
+                }
+            }
+            if col_rows.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(FormatError::NotCanonical {
+                    detail: format!("densified column {i} has unsorted rows"),
+                });
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            colidx,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Densify a CSC matrix: drop its empty columns into the `colidx`
+    /// indirection.
+    pub fn from_csc(csc: &Csc) -> Self {
+        let shape = csc.shape();
+        let mut colidx = Vec::new();
+        let mut colptr = vec![0 as Index];
+        let mut rowidx = Vec::with_capacity(csc.nnz());
+        let mut values = Vec::with_capacity(csc.nnz());
+        for c in 0..shape.ncols {
+            let (rows, vals) = csc.col(c);
+            if rows.is_empty() {
+                continue;
+            }
+            colidx.push(c as Index);
+            rowidx.extend_from_slice(rows);
+            values.extend_from_slice(vals);
+            colptr.push(rowidx.len() as Index);
+        }
+        Self {
+            nrows: shape.nrows,
+            ncols: shape.ncols,
+            colidx,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Densify straight from CSR (via the counting transpose).
+    pub fn from_csr(csr: &Csr) -> Self {
+        Self::from_csc(&csr.to_csc())
+    }
+
+    /// Expand back to CSC (reinstating empty columns).
+    pub fn to_csc(&self) -> Csc {
+        let mut colptr = vec![0 as Index; self.ncols + 1];
+        for (i, &c) in self.colidx.iter().enumerate() {
+            colptr[c as usize + 1] = self.colptr[i + 1] - self.colptr[i];
+        }
+        for i in 0..self.ncols {
+            colptr[i + 1] += colptr[i];
+        }
+        Csc::new(
+            self.nrows,
+            self.ncols,
+            colptr,
+            self.rowidx.clone(),
+            self.values.clone(),
+        )
+        .expect("DCSC invariants guarantee a valid CSC expansion")
+    }
+
+    /// Non-empty column indices (`n_nnzcol` entries).
+    pub fn colidx(&self) -> &[Index] {
+        &self.colidx
+    }
+
+    /// Column pointers over the densified columns.
+    pub fn colptr(&self) -> &[Index] {
+        &self.colptr
+    }
+
+    /// Row index array (column-major).
+    pub fn rowidx(&self) -> &[Index] {
+        &self.rowidx
+    }
+
+    /// Value array (column-major).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of non-empty columns stored (`n_nnzcol`).
+    pub fn num_dense_cols(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The `i`-th densified column: `(global column, rows, values)`.
+    #[inline]
+    pub fn dense_col(&self, i: usize) -> (Index, &[Index], &[Value]) {
+        let (lo, hi) = (self.colptr[i] as usize, self.colptr[i + 1] as usize);
+        (self.colidx[i], &self.rowidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterate `(row, col, value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        (0..self.colidx.len()).flat_map(move |i| {
+            let (c, rows, vals) = self.dense_col(i);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Densify into a dense matrix (tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d.set(r as usize, c as usize, v);
+        }
+        d
+    }
+}
+
+impl SparseMatrix for Dcsc {
+    fn shape(&self) -> Shape {
+        Shape::new(self.nrows, self.ncols)
+    }
+
+    fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+}
+
+impl StorageSize for Dcsc {
+    fn metadata_bytes(&self) -> usize {
+        (self.rowidx.len() + self.colptr.len() + self.colidx.len()) * INDEX_BYTES
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.values.len() * VALUE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    /// A wide matrix (2 x 100) with only 3 non-empty columns — the §4.1
+    /// scenario where CSC's colptr dominates and DCSC pays off.
+    fn wide() -> Csc {
+        let coo = Coo::from_triplets(2, 100, &[0, 1, 1], &[5, 5, 90], &[1.0, 2.0, 3.0]).unwrap();
+        Csc::from_coo(&coo)
+    }
+
+    #[test]
+    fn densify_keeps_only_nonzero_cols() {
+        let d = Dcsc::from_csc(&wide());
+        assert_eq!(d.colidx(), &[5, 90]);
+        assert_eq!(d.num_dense_cols(), 2);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.colptr(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let csc = wide();
+        assert_eq!(Dcsc::from_csc(&csc).to_csc(), csc);
+    }
+
+    #[test]
+    fn from_csr_matches_from_csc() {
+        let csc = wide();
+        let csr = csc.to_csr();
+        assert_eq!(Dcsc::from_csr(&csr), Dcsc::from_csc(&csc));
+    }
+
+    #[test]
+    fn wide_matrix_storage_win() {
+        // CSC pays 101 colptr entries; DCSC pays 3 colptr + 2 colidx.
+        let csc = wide();
+        let dcsc = Dcsc::from_csc(&csc);
+        assert!(dcsc.metadata_bytes() < csc.metadata_bytes());
+        assert_eq!(csc.metadata_bytes(), (3 + 101) * 4);
+        assert_eq!(dcsc.metadata_bytes(), (3 + 3 + 2) * 4);
+    }
+
+    #[test]
+    fn dense_col_access_and_iter() {
+        let d = Dcsc::from_csc(&wide());
+        let (c, rows, vals) = d.dense_col(0);
+        assert_eq!(c, 5);
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        assert_eq!(d.to_dense(), wide().to_dense());
+    }
+
+    #[test]
+    fn validation_rejects_bad_structures() {
+        // Empty densified column.
+        assert!(Dcsc::new(2, 4, vec![0, 1], vec![0, 0, 1], vec![0], vec![1.0]).is_err());
+        // Unsorted colidx.
+        assert!(Dcsc::new(2, 4, vec![2, 0], vec![0, 1, 2], vec![0, 0], vec![1.0, 2.0]).is_err());
+        // Out-of-bounds column / row.
+        assert!(Dcsc::new(2, 4, vec![9], vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Dcsc::new(2, 4, vec![0], vec![0, 1], vec![7], vec![1.0]).is_err());
+        // colptr length mismatch.
+        assert!(Dcsc::new(2, 4, vec![0], vec![0], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = Dcsc::new(3, 3, vec![], vec![0], vec![], vec![]).unwrap();
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.to_csc().nnz(), 0);
+    }
+
+    #[test]
+    fn dcsc_of_transpose_mirrors_dcsr() {
+        // DCSC(A) lists the same indices as DCSR(Aᵀ)'s rows.
+        let coo = Coo::from_triplets(6, 6, &[0, 3, 3, 5], &[1, 1, 4, 2], &[1.0; 4]).unwrap();
+        let csr = crate::Csr::from_coo(&coo);
+        let dcsc = Dcsc::from_csr(&csr);
+        let dcsr_t = crate::Dcsr::from_csr(&csr.transpose());
+        assert_eq!(dcsc.colidx(), dcsr_t.rowidx());
+        assert_eq!(dcsc.nnz(), dcsr_t.nnz());
+    }
+}

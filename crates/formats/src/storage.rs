@@ -1,0 +1,57 @@
+//! Storage-footprint accounting.
+//!
+//! The paper's Figures 8 and 9 compare formats purely by bytes: metadata
+//! (pointer and index arrays) versus data (the values). Every sparse format
+//! implements [`StorageSize`] so these figures regenerate from the same
+//! accounting used everywhere else.
+
+/// Byte-level storage accounting for a sparse format.
+pub trait StorageSize {
+    /// Bytes of structural metadata: row/column pointer arrays and
+    /// row/column index arrays — everything except the values.
+    fn metadata_bytes(&self) -> usize;
+
+    /// Bytes of value payload.
+    fn data_bytes(&self) -> usize;
+
+    /// Total storage footprint: metadata plus data.
+    fn storage_bytes(&self) -> usize {
+        self.metadata_bytes() + self.data_bytes()
+    }
+}
+
+/// Ratio of two footprints as used in Figures 8/9 (`size(x)/size(y)`),
+/// returning `f64::INFINITY` when the denominator is zero.
+pub fn size_ratio(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        f64::INFINITY
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake(usize, usize);
+    impl StorageSize for Fake {
+        fn metadata_bytes(&self) -> usize {
+            self.0
+        }
+        fn data_bytes(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn total_is_sum() {
+        assert_eq!(Fake(10, 32).storage_bytes(), 42);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(size_ratio(10, 5), 2.0);
+        assert!(size_ratio(1, 0).is_infinite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Structured perturbations of existing matrices.
+//!
+//! The SSF heuristic claims to read the *structure* of a matrix — so the
+//! natural probe is to hold everything else fixed and perturb exactly one
+//! structural property: shuffling columns destroys intra-row clustering
+//! (entropy rises, SSF falls), shuffling rows preserves it, background
+//! noise dilutes it. These perturbations power the robustness tests and
+//! give library users the standard pruning/noising tools.
+
+use nmt_formats::ops;
+use nmt_formats::{Csr, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    p.shuffle(rng);
+    p
+}
+
+/// Randomly permute the rows. Row-internal structure (segments, bursts) is
+/// untouched, so strip-level clustering — and hence SSF — is essentially
+/// preserved.
+pub fn shuffle_rows(csr: &Csr, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perm = permutation(csr.shape().nrows, &mut rng);
+    ops::permute_rows(csr, &perm).expect("a fresh permutation is always valid")
+}
+
+/// Randomly permute the columns. This scatters every row's entries across
+/// strips: row segments shatter, normalized entropy rises toward 1, and a
+/// clustered matrix becomes a scattered one.
+pub fn shuffle_cols(csr: &Csr, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perm = permutation(csr.shape().ncols, &mut rng);
+    ops::permute_cols(csr, &perm).expect("a fresh permutation is always valid")
+}
+
+/// Shuffle both axes: the fully scattered version of the same population.
+pub fn scatter(csr: &Csr, seed: u64) -> Csr {
+    shuffle_cols(&shuffle_rows(csr, seed), seed ^ 0xC01)
+}
+
+/// Keep the `keep_fraction` largest-magnitude entries (global magnitude
+/// pruning, the DNN-compression primitive of the paper's §1 motivation).
+pub fn prune_magnitude(csr: &Csr, keep_fraction: f64) -> Csr {
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep_fraction must be within [0, 1]"
+    );
+    let mut mags: Vec<f32> = csr.values().iter().map(|v| v.abs()).collect();
+    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let keep = ((csr.nnz() as f64 * keep_fraction).round() as usize).min(csr.nnz());
+    if keep == 0 {
+        return ops::filter(csr, |_, _, _| false);
+    }
+    let threshold = mags[keep - 1];
+    // Filter by threshold; break ties by keeping earlier entries until the
+    // budget is exhausted.
+    let mut remaining = keep;
+    ops::filter(csr, |_, _, v| {
+        if remaining == 0 {
+            return false;
+        }
+        let k = v.abs() >= threshold;
+        if k {
+            remaining -= 1;
+        }
+        k
+    })
+}
+
+/// Add `density` worth of uniform background entries on top of the
+/// existing structure (duplicates merge).
+pub fn add_background(csr: &Csr, density: f64, seed: u64) -> Csr {
+    let shape = csr.shape();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extra = (density * shape.nrows as f64 * shape.ncols as f64).round() as usize;
+    let mut coo = csr.to_coo();
+    for _ in 0..extra {
+        let r = rng.random_range(0..shape.nrows as u32);
+        let c = rng.random_range(0..shape.ncols as u32);
+        coo.push(r, c, rng.random_range(-1.0f32..1.0))
+            .expect("in bounds");
+    }
+    coo.canonicalize();
+    Csr::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, GenKind, MatrixDesc};
+
+    fn bursty() -> Csr {
+        generate(&MatrixDesc::new(
+            "b",
+            256,
+            GenKind::RowBursts {
+                density: 0.02,
+                burst_len: 16,
+            },
+            5,
+        ))
+    }
+
+    #[test]
+    fn perturbations_are_deterministic_and_nnz_preserving() {
+        let a = bursty();
+        assert_eq!(shuffle_rows(&a, 1), shuffle_rows(&a, 1));
+        assert_eq!(shuffle_cols(&a, 1), shuffle_cols(&a, 1));
+        assert_eq!(shuffle_rows(&a, 1).nnz(), a.nnz());
+        assert_eq!(shuffle_cols(&a, 2).nnz(), a.nnz());
+        assert_eq!(scatter(&a, 3).nnz(), a.nnz());
+        assert_ne!(shuffle_rows(&a, 1), shuffle_rows(&a, 2));
+    }
+
+    #[test]
+    fn column_shuffle_destroys_clustering_row_shuffle_does_not() {
+        // The structural claim behind the perturbation suite, measured
+        // with plain run-length statistics (entropy itself is asserted in
+        // the model crate's tests to avoid a dependency cycle).
+        fn mean_run(csr: &Csr) -> f64 {
+            let mut runs = 0usize;
+            let mut total = 0usize;
+            for r in 0..csr.shape().nrows {
+                let (cols, _) = csr.row(r);
+                let mut i = 0;
+                while i < cols.len() {
+                    runs += 1;
+                    while i + 1 < cols.len() && cols[i + 1] == cols[i] + 1 {
+                        i += 1;
+                        total += 1;
+                    }
+                    i += 1;
+                    total += 1;
+                }
+            }
+            total as f64 / runs.max(1) as f64
+        }
+        let a = bursty();
+        let base = mean_run(&a);
+        let rowshuf = mean_run(&shuffle_rows(&a, 7));
+        let colshuf = mean_run(&shuffle_cols(&a, 7));
+        assert!(
+            (rowshuf - base).abs() < 1e-9,
+            "row shuffle keeps runs intact"
+        );
+        assert!(
+            colshuf < base / 3.0,
+            "column shuffle must shatter runs: {colshuf} vs {base}"
+        );
+    }
+
+    #[test]
+    fn prune_keeps_the_largest() {
+        let a = bursty();
+        let half = prune_magnitude(&a, 0.5);
+        assert!((half.nnz() as f64 - a.nnz() as f64 * 0.5).abs() <= 1.0);
+        let kept_min = half
+            .values()
+            .iter()
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        // Count how many original entries exceed the smallest kept one —
+        // none beyond the budget may be dropped.
+        let bigger = a.values().iter().filter(|v| v.abs() > kept_min).count();
+        assert!(bigger <= half.nnz());
+        assert_eq!(prune_magnitude(&a, 0.0).nnz(), 0);
+        assert_eq!(prune_magnitude(&a, 1.0).nnz(), a.nnz());
+    }
+
+    #[test]
+    fn background_raises_density() {
+        let a = bursty();
+        let noisy = add_background(&a, 0.01, 9);
+        assert!(noisy.nnz() > a.nnz());
+        // Original entries survive (values may merge with noise).
+        assert!(noisy.density() > a.density());
+    }
+}

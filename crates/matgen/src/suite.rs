@@ -1,0 +1,239 @@
+//! The evaluation suite: a deterministic sweep standing in for SuiteSparse.
+//!
+//! §5.1 filters SuiteSparse to matrices with 4 k–44 k rows so that `B` and
+//! `C` fit in GPU memory and every SM gets at least one subproblem. The
+//! synthetic suite mirrors that: a cross product of structural families,
+//! densities and dimensions, each seeded independently.
+
+use crate::generators::{generate, GenKind, MatrixDesc};
+use nmt_formats::Csr;
+use rayon::prelude::*;
+
+/// How large the suite's matrices are. Experiments on the timing simulator
+/// use `Small`/`Medium` so the full suite sweep completes in seconds;
+/// `Paper` matches the paper's 4 k–44 k row filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// 256–1024 rows — unit/integration tests.
+    Small,
+    /// 1 k–4 k rows — default experiment scale.
+    Medium,
+    /// 4 k–44 k rows — the paper's dimension filter.
+    Paper,
+}
+
+impl SuiteScale {
+    /// The matrix dimensions swept at this scale.
+    pub fn dims(self) -> &'static [usize] {
+        match self {
+            SuiteScale::Small => &[512, 1024],
+            SuiteScale::Medium => &[2048, 4096],
+            SuiteScale::Paper => &[4096, 8192, 16384, 32768],
+        }
+    }
+}
+
+/// Specification of a full synthetic suite.
+#[derive(Debug, Clone)]
+pub struct SuiteSpec {
+    /// Scale (dimension range).
+    pub scale: SuiteScale,
+    /// Base seed; each matrix derives its own seed from this.
+    pub base_seed: u64,
+    /// Densities swept for the uniform/zipf families.
+    pub densities: Vec<f64>,
+    /// Zipf exponents swept for the skewed families.
+    pub exponents: Vec<f64>,
+}
+
+impl SuiteSpec {
+    /// The default suite: densities 1e-4 … 3e-2, exponents 0.6 … 1.4,
+    /// all five structural families.
+    pub fn new(scale: SuiteScale, base_seed: u64) -> Self {
+        Self {
+            scale,
+            base_seed,
+            densities: vec![1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2],
+            exponents: vec![0.6, 1.0, 1.4],
+        }
+    }
+
+    /// A reduced suite for fast tests (2 dims × fewer parameters).
+    pub fn quick(base_seed: u64) -> Self {
+        Self {
+            scale: SuiteScale::Small,
+            base_seed,
+            densities: vec![1e-3, 1e-2],
+            exponents: vec![1.0],
+        }
+    }
+
+    /// Enumerate all matrix descriptors in the suite.
+    pub fn descriptors(&self) -> Vec<MatrixDesc> {
+        let mut out = Vec::new();
+        let mut seed = self.base_seed;
+        let mut next_seed = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed
+        };
+        for &n in self.scale.dims() {
+            for &d in &self.densities {
+                // Skip configurations whose expected nnz is degenerate
+                // (< 1 per 4 rows) or too dense to be "sparse" (§2: < 10 %).
+                if (d * n as f64) < 0.25 || d > 0.1 {
+                    continue;
+                }
+                out.push(MatrixDesc::new(
+                    format!("uniform_n{n}_d{d:.0e}"),
+                    n,
+                    GenKind::Uniform { density: d },
+                    next_seed(),
+                ));
+                for &s in &self.exponents {
+                    out.push(MatrixDesc::new(
+                        format!("zipfrow_n{n}_d{d:.0e}_s{s}"),
+                        n,
+                        GenKind::ZipfRows {
+                            density: d,
+                            exponent: s,
+                        },
+                        next_seed(),
+                    ));
+                }
+                out.push(MatrixDesc::new(
+                    format!("zipfboth_n{n}_d{d:.0e}"),
+                    n,
+                    GenKind::ZipfBoth {
+                        density: d,
+                        exponent: 1.1,
+                    },
+                    next_seed(),
+                ));
+                for &burst in &[8usize, 32] {
+                    // Clustered row segments need a few elements per burst.
+                    if d * n as f64 >= burst as f64 / 8.0 {
+                        out.push(MatrixDesc::new(
+                            format!("rowburst_n{n}_d{d:.0e}_l{burst}"),
+                            n,
+                            GenKind::RowBursts {
+                                density: d,
+                                burst_len: burst,
+                            },
+                            next_seed(),
+                        ));
+                    }
+                }
+            }
+            // Structured families parameterized by dimension only.
+            for &(bw_frac, fill) in &[(0.01, 0.5), (0.03, 0.3)] {
+                let bandwidth = ((n as f64 * bw_frac) as usize).max(2);
+                out.push(MatrixDesc::new(
+                    format!("banded_n{n}_bw{bandwidth}"),
+                    n,
+                    GenKind::Banded { bandwidth, fill },
+                    next_seed(),
+                ));
+            }
+            for &(block_frac, fill) in &[(0.02, 0.4), (0.05, 0.2)] {
+                let block = ((n as f64 * block_frac) as usize).max(4);
+                out.push(MatrixDesc::new(
+                    format!("blockdiag_n{n}_b{block}"),
+                    n,
+                    GenKind::BlockDiag {
+                        block,
+                        fill,
+                        background: 1e-4,
+                    },
+                    next_seed(),
+                ));
+            }
+            for &ef in &[4usize, 16] {
+                out.push(MatrixDesc::new(
+                    format!("rmat_n{n}_ef{ef}"),
+                    n,
+                    GenKind::Rmat {
+                        a: 0.57,
+                        b: 0.19,
+                        c: 0.19,
+                        edge_factor: ef,
+                    },
+                    next_seed(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Generate every matrix in the suite in parallel.
+    pub fn build(&self) -> Vec<(MatrixDesc, Csr)> {
+        self.descriptors()
+            .into_par_iter()
+            .map(|d| {
+                let m = generate(&d);
+                (d, m)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_formats::SparseMatrix;
+
+    #[test]
+    fn quick_suite_builds() {
+        let suite = SuiteSpec::quick(11).build();
+        assert!(!suite.is_empty());
+        for (desc, m) in &suite {
+            assert_eq!(m.shape().nrows, desc.n);
+            assert!(m.nnz() > 0, "{} is empty", desc.name);
+            assert!(
+                m.density() <= 0.25,
+                "{} too dense: {}",
+                desc.name,
+                m.density()
+            );
+        }
+    }
+
+    #[test]
+    fn descriptors_are_unique_and_deterministic() {
+        let spec = SuiteSpec::new(SuiteScale::Small, 5);
+        let a = spec.descriptors();
+        let b = spec.descriptors();
+        assert_eq!(a, b);
+        let names: std::collections::BTreeSet<&str> = a.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), a.len(), "duplicate descriptor names");
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|d| d.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "duplicate seeds");
+    }
+
+    #[test]
+    fn suite_spans_families() {
+        let spec = SuiteSpec::new(SuiteScale::Small, 5);
+        let descs = spec.descriptors();
+        for family in [
+            "uniform",
+            "zipfrow",
+            "zipfboth",
+            "banded",
+            "blockdiag",
+            "rmat",
+        ] {
+            assert!(
+                descs.iter().any(|d| d.name.starts_with(family)),
+                "family {family} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_respects_dimension_filter() {
+        for &n in SuiteScale::Paper.dims() {
+            assert!((4_000..=44_000).contains(&n));
+        }
+    }
+}

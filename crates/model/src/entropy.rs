@@ -1,0 +1,166 @@
+//! Normalized entropy of the non-zero distribution (Eq. 1, §3.1.4).
+//!
+//! `H_norm` divides Shannon's entropy of the per-row-segment nnz shares by
+//! Hartley's entropy (`log A.nnz`), yielding a `[0, 1]` randomness measure:
+//! 1 when every non-zero is its own row segment (perfectly scattered), 0
+//! when a single row segment holds everything (maximally clustered). The
+//! SSF heuristic uses `1 - H_norm` as its skewness term.
+
+use nmt_formats::{Csr, SparseMatrix};
+
+/// Per-row-segment non-zero counts for a tiling of width `tile_w`.
+///
+/// A row segment is the run of one matrix row inside one vertical strip —
+/// the granularity at which tiled DCSR stores rows (`t.rows` in Eq. 1; the
+/// tile height does not split segments further because a row intersects
+/// exactly one tile per strip).
+pub fn row_segment_counts(csr: &Csr, tile_w: usize) -> Vec<usize> {
+    assert!(tile_w > 0, "tile width must be positive");
+    let mut out = Vec::new();
+    for r in 0..csr.shape().nrows {
+        let (cols, _) = csr.row(r);
+        let mut i = 0;
+        while i < cols.len() {
+            let strip = cols[i] as usize / tile_w;
+            let end = ((strip + 1) * tile_w) as u32;
+            let mut len = 0;
+            while i < cols.len() && cols[i] < end {
+                len += 1;
+                i += 1;
+            }
+            out.push(len);
+        }
+    }
+    out
+}
+
+/// Normalized entropy over arbitrary segment counts.
+///
+/// Returns 0 for degenerate inputs (≤ 1 non-zero), where randomness is
+/// undefined and the matrix is trivially "clustered".
+pub fn normalized_entropy_of(segments: &[usize]) -> f64 {
+    let total: usize = segments.iter().sum();
+    if total <= 1 {
+        return 0.0;
+    }
+    let totalf = total as f64;
+    let h: f64 = segments
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / totalf;
+            -p * p.ln()
+        })
+        .sum();
+    (h / totalf.ln()).clamp(0.0, 1.0)
+}
+
+/// `H_norm` of a matrix under `tile_w`-wide strips (Eq. 1).
+pub fn normalized_entropy(csr: &Csr, tile_w: usize) -> f64 {
+    normalized_entropy_of(&row_segment_counts(csr, tile_w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_formats::Coo;
+
+    fn csr(n: usize, entries: &[(u32, u32)]) -> Csr {
+        let rows: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<u32> = entries.iter().map(|e| e.1).collect();
+        let vals = vec![1.0f32; entries.len()];
+        Csr::from_coo(&Coo::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    #[test]
+    fn segments_split_at_strip_boundaries() {
+        // Row 0 has cols {1,2, 5,6}: two segments of 2 under 4-wide strips.
+        let m = csr(8, &[(0, 1), (0, 2), (0, 5), (0, 6)]);
+        assert_eq!(row_segment_counts(&m, 4), vec![2, 2]);
+        // One 8-wide strip: a single segment of 4.
+        assert_eq!(row_segment_counts(&m, 8), vec![4]);
+    }
+
+    #[test]
+    fn scattered_matrix_has_entropy_one() {
+        // Every non-zero in its own segment: p_i = 1/nnz, H = log nnz.
+        let m = csr(8, &[(0, 0), (1, 4), (2, 2), (3, 6), (4, 1), (5, 5)]);
+        let h = normalized_entropy(&m, 4);
+        assert!((h - 1.0).abs() < 1e-12, "h = {h}");
+    }
+
+    #[test]
+    fn clustered_matrix_has_low_entropy() {
+        // All 4 entries in one row segment: H = 0.
+        let m = csr(8, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(normalized_entropy(&m, 4), 0.0);
+    }
+
+    #[test]
+    fn entropy_monotone_in_scatter() {
+        // One heavy segment + a few singletons sits between the extremes.
+        let clustered = csr(
+            16,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+            ],
+        );
+        let mixed = csr(
+            16,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (4, 8),
+                (5, 12),
+                (6, 5),
+                (7, 9),
+            ],
+        );
+        let scattered = csr(
+            16,
+            &[
+                (0, 0),
+                (1, 4),
+                (2, 8),
+                (3, 12),
+                (4, 1),
+                (5, 5),
+                (6, 9),
+                (7, 13),
+            ],
+        );
+        let hc = normalized_entropy(&clustered, 4);
+        let hm = normalized_entropy(&mixed, 4);
+        let hs = normalized_entropy(&scattered, 4);
+        assert!(hc < hm && hm < hs, "hc={hc} hm={hm} hs={hs}");
+        assert!((hs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = csr(4, &[]);
+        assert_eq!(normalized_entropy(&empty, 4), 0.0);
+        let single = csr(4, &[(1, 1)]);
+        assert_eq!(normalized_entropy(&single, 4), 0.0);
+        assert_eq!(normalized_entropy_of(&[]), 0.0);
+        assert_eq!(normalized_entropy_of(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_bounded() {
+        // Random-ish pattern stays within [0, 1].
+        let entries: Vec<(u32, u32)> = (0..64u32).map(|i| ((i * 13) % 32, (i * 29) % 32)).collect();
+        let m = csr(32, &entries);
+        let h = normalized_entropy(&m, 8);
+        assert!((0.0..=1.0).contains(&h), "h = {h}");
+    }
+}

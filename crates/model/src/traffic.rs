@@ -1,0 +1,281 @@
+//! Table 1: compulsory memory-traffic comparison of the tiling dataflows,
+//! and the §2 bytes/FLOP model.
+//!
+//! Model assumptions, straight from the table's footnote: matrices are
+//! `n × n`, tiles `k × k`, atomic bandwidth costs 2× a plain access,
+//! `A.nnz = d·n² ≪ n²`, and under a uniform distribution
+//! `n_nnzrow ≈ n_nnzcol ≈ n` and `n_nnzrow_strip ≈ (1-(1-d)^k)·n`.
+
+use nmt_formats::{Csr, SparseMatrix, StorageSize};
+use serde::{Deserialize, Serialize};
+
+/// Which matrix stays resident in shared memory (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Sparse-matrix stationary: B and C revisited; "the largest number of
+    /// memory accesses across all three tiling techniques".
+    AStationary,
+    /// Dense-input stationary: B tiles loaded once into shared memory,
+    /// partial C updated atomically.
+    BStationary,
+    /// Output stationary: C written once, B refetched per A strip.
+    CStationary,
+}
+
+impl Dataflow {
+    /// All dataflows, for iteration.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::AStationary,
+        Dataflow::BStationary,
+        Dataflow::CStationary,
+    ];
+}
+
+/// Compulsory traffic estimate, in bytes, per operand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEstimate {
+    /// Traffic to the sparse input A.
+    pub a_bytes: f64,
+    /// Traffic to the dense input B.
+    pub b_bytes: f64,
+    /// Traffic to the output C, including the 2× atomic factor where the
+    /// dataflow produces partial contributions.
+    pub c_bytes: f64,
+}
+
+impl TrafficEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.a_bytes + self.b_bytes + self.c_bytes
+    }
+}
+
+/// Inputs to the Table 1 formulas, measurable from a concrete matrix or
+/// constructed synthetically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficModel {
+    /// Matrix dimension `n` (square).
+    pub n: f64,
+    /// Tile edge `k`.
+    pub k: f64,
+    /// Non-zero count of A.
+    pub nnz: f64,
+    /// Bytes of the CSR representation of A (`size(A.csr)`).
+    pub size_a_csr: f64,
+    /// Number of rows with ≥ 1 non-zero (`n_nnzrow`).
+    pub nnzrow: f64,
+    /// Number of columns with ≥ 1 non-zero (`n_nnzcol`).
+    pub nnzcol: f64,
+    /// Mean number of non-zero rows per vertical strip
+    /// (`n_nnzrow_strip`).
+    pub nnzrow_strip: f64,
+    /// Bytes per element (4 for fp32).
+    pub elem_bytes: f64,
+    /// Atomic cost factor (2× per the footnote).
+    pub atomic_factor: f64,
+}
+
+impl TrafficModel {
+    /// Build the model inputs by measuring a concrete CSR matrix.
+    pub fn measure(csr: &Csr, k: usize) -> Self {
+        let shape = csr.shape();
+        let stats = nmt_formats::StripStats::compute(csr, k);
+        Self {
+            n: shape.nrows as f64,
+            k: k as f64,
+            nnz: csr.nnz() as f64,
+            size_a_csr: csr.storage_bytes() as f64,
+            nnzrow: csr.nonzero_rows() as f64,
+            nnzcol: csr.nonzero_cols() as f64,
+            nnzrow_strip: stats.mean_fraction * shape.nrows as f64,
+            elem_bytes: 4.0,
+            atomic_factor: 2.0,
+        }
+    }
+
+    /// Build the uniform-distribution synthetic model of the footnote:
+    /// `n_nnzrow = n_nnzcol = n`, `n_nnzrow_strip = (1-(1-d)^k)·n`.
+    pub fn uniform(n: usize, k: usize, density: f64) -> Self {
+        let nf = n as f64;
+        let kf = k as f64;
+        let nnz = density * nf * nf;
+        // size(A.csr) = 8·nnz + 4·(n+1) (§2).
+        let size_a_csr = 8.0 * nnz + 4.0 * (nf + 1.0);
+        let nnzrow_strip = (1.0 - (1.0 - density).powf(kf)) * nf;
+        Self {
+            n: nf,
+            k: kf,
+            nnz,
+            size_a_csr,
+            nnzrow: nf * (1.0 - (1.0 - density).powf(nf)).min(1.0),
+            nnzcol: nf * (1.0 - (1.0 - density).powf(nf)).min(1.0),
+            nnzrow_strip,
+            elem_bytes: 4.0,
+            atomic_factor: 2.0,
+        }
+    }
+
+    /// Number of vertical strips `n / k`.
+    fn strips(&self) -> f64 {
+        (self.n / self.k).max(1.0)
+    }
+
+    /// Evaluate the Table 1 row for `dataflow`. Entries expressed in
+    /// elements in the paper are converted to bytes via `elem_bytes`.
+    pub fn estimate(&self, dataflow: Dataflow) -> TrafficEstimate {
+        let eb = self.elem_bytes;
+        // Partial-contribution output traffic shared by A- and B-stationary:
+        // n_nnzrow_strip × (n/k) × n × atomic_factor (Table 1, C column).
+        let partial_c = self.nnzrow_strip * self.strips() * self.n * self.atomic_factor * eb;
+        match dataflow {
+            Dataflow::AStationary => TrafficEstimate {
+                // Single fetch of A.
+                a_bytes: self.size_a_csr,
+                // Multiple fetches of B: A.nnz × n.
+                b_bytes: self.nnz * self.n * eb,
+                c_bytes: partial_c,
+            },
+            Dataflow::BStationary => TrafficEstimate {
+                // A refetched once per vertical strip of B tiles.
+                a_bytes: self.size_a_csr * self.strips(),
+                // Single fetch of B: each non-zero column read once.
+                b_bytes: self.nnzcol * self.n * eb,
+                c_bytes: partial_c,
+            },
+            Dataflow::CStationary => TrafficEstimate {
+                // A refetched once per vertical strip of B.
+                a_bytes: self.size_a_csr * self.strips(),
+                // Multiple fetches of B: A.nnz × n.
+                b_bytes: self.nnz * self.n * eb,
+                // Single update of C: n_nnzrow × n.
+                c_bytes: self.nnzrow * self.n * eb,
+            },
+        }
+    }
+}
+
+/// The §2 bytes/FLOP estimate for untiled CSR SpMM on an `n × n` problem:
+/// `(8·nnz + 4·(n+1) + 8·n²) / (2·nnz·n)`.
+///
+/// Note: the paper quotes 5.1 bytes/FLOP "using typical values … N = 20 K
+/// and 0.1 % density". Plugging those exact values into the printed formula
+/// yields 0.2 bytes/FLOP — still an order of magnitude above the ~0.06
+/// bytes/FLOP a GV100 can feed (870 GB/s / 15.7 TFLOP/s), so the
+/// memory-bound conclusion is unchanged. `sec2_bytes_per_flop` reports both
+/// numbers; see EXPERIMENTS.md.
+pub fn bytes_per_flop(n: usize, nnz: usize) -> f64 {
+    let nf = n as f64;
+    let nnzf = nnz as f64;
+    if nnzf == 0.0 || nf == 0.0 {
+        return f64::INFINITY;
+    }
+    let bytes = 8.0 * nnzf + 4.0 * (nf + 1.0) + 8.0 * nf * nf;
+    let flops = 2.0 * nnzf * nf;
+    bytes / flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmt_formats::Coo;
+
+    #[test]
+    fn a_stationary_fetches_a_once() {
+        let m = TrafficModel::uniform(1024, 64, 0.01);
+        let a = m.estimate(Dataflow::AStationary);
+        let b = m.estimate(Dataflow::BStationary);
+        assert!((a.a_bytes - m.size_a_csr).abs() < 1e-6);
+        assert!((b.a_bytes / a.a_bytes - m.strips()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn a_stationary_is_worst_overall() {
+        // §3.1.1: A-stationary "results in the largest number of memory
+        // accesses across all three tiling techniques".
+        let m = TrafficModel::uniform(4096, 64, 0.001);
+        let a = m.estimate(Dataflow::AStationary).total();
+        let b = m.estimate(Dataflow::BStationary).total();
+        let c = m.estimate(Dataflow::CStationary).total();
+        assert!(a >= b && a >= c, "a={a} b={b} c={c}");
+    }
+
+    #[test]
+    fn uniform_distribution_favours_c_stationary() {
+        // §3.1.2: "With the uniform non-zero distribution … C-stationary
+        // provides better performance than B-stationary because B-stationary
+        // suffers from the atomic bandwidth."
+        let m = TrafficModel::uniform(8192, 64, 0.001);
+        let b = m.estimate(Dataflow::BStationary).total();
+        let c = m.estimate(Dataflow::CStationary).total();
+        assert!(c < b, "c={c} b={b}");
+    }
+
+    #[test]
+    fn skewed_strips_favour_b_stationary() {
+        // When most strips have few non-zero rows (skewed distribution),
+        // B-stationary's partial-C traffic collapses while C-stationary's
+        // B traffic is unchanged — §3.1.2's argument for the heuristic.
+        let n = 8192.0;
+        let skewed = TrafficModel {
+            n,
+            k: 64.0,
+            nnz: 0.001 * n * n,
+            size_a_csr: 8.0 * 0.001 * n * n + 4.0 * (n + 1.0),
+            nnzrow: n * 0.2,
+            nnzcol: n * 0.9,
+            // Very few non-zero rows per strip: clustered distribution.
+            nnzrow_strip: 16.0,
+            elem_bytes: 4.0,
+            atomic_factor: 2.0,
+        };
+        let b = skewed.estimate(Dataflow::BStationary).total();
+        let c = skewed.estimate(Dataflow::CStationary).total();
+        assert!(b < c, "b={b} c={c}");
+    }
+
+    #[test]
+    fn measured_model_matches_matrix() {
+        let coo = Coo::from_triplets(8, 8, &[0, 0, 3, 5, 7], &[1, 6, 3, 0, 7], &[1.0; 5]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let m = TrafficModel::measure(&csr, 4);
+        assert_eq!(m.n, 8.0);
+        assert_eq!(m.nnz, 5.0);
+        assert_eq!(m.nnzrow, 4.0);
+        assert_eq!(m.nnzcol, 5.0);
+        assert_eq!(m.size_a_csr, csr.storage_bytes() as f64);
+        // Strip 0 (cols 0..4): rows 0,3,5 -> 3; strip 1 (cols 4..8): rows 0,7 -> 2.
+        assert!((m.nnzrow_strip - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_strip_occupancy_saturates_with_density() {
+        let lo = TrafficModel::uniform(1024, 64, 1e-4);
+        let hi = TrafficModel::uniform(1024, 64, 1e-1);
+        assert!(lo.nnzrow_strip < hi.nnzrow_strip);
+        assert!(hi.nnzrow_strip <= 1024.0);
+    }
+
+    #[test]
+    fn bytes_per_flop_formula() {
+        // Exact formula check on easy numbers.
+        let got = bytes_per_flop(10, 5);
+        let expected = (8.0 * 5.0 + 4.0 * 11.0 + 800.0) / (2.0 * 5.0 * 10.0);
+        assert!((got - expected).abs() < 1e-12);
+        // Paper's example inputs: the formula yields ~0.2 (see doc note).
+        let paper = bytes_per_flop(20_000, (0.001 * 20_000.0f64 * 20_000.0) as usize);
+        assert!((paper - 0.2).abs() < 0.01, "got {paper}");
+        // Memory-bound either way: a GV100 sustains ~0.055 bytes/FLOP.
+        assert!(paper > 0.055);
+        assert!(bytes_per_flop(0, 0).is_infinite());
+    }
+
+    #[test]
+    fn estimate_total_sums_components() {
+        let m = TrafficModel::uniform(512, 64, 0.01);
+        for df in Dataflow::ALL {
+            let e = m.estimate(df);
+            assert!((e.total() - (e.a_bytes + e.b_bytes + e.c_bytes)).abs() < 1e-9);
+            assert!(e.a_bytes > 0.0 && e.b_bytes > 0.0 && e.c_bytes > 0.0);
+        }
+    }
+}

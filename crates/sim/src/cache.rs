@@ -1,0 +1,200 @@
+//! Set-associative L2 cache slice with LRU replacement.
+//!
+//! The GV100 L2 is physically sliced: each FB partition owns the slice that
+//! caches its share of the address space. One [`L2Slice`] therefore lives
+//! inside each simulated FB partition.
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled (possibly evicting a victim, whose
+    /// dirtiness is reported for write-back accounting).
+    Miss {
+        /// True when the evicted victim was dirty and must be written back.
+        dirty_writeback: bool,
+    },
+}
+
+/// One L2 slice: `sets × ways` lines, LRU within a set.
+#[derive(Debug, Clone)]
+pub struct L2Slice {
+    line_bytes: u64,
+    sets: usize,
+    ways: usize,
+    /// tags[set * ways + way]; `None` = invalid.
+    tags: Vec<Option<u64>>,
+    /// LRU stamps parallel to `tags` (larger = more recent).
+    stamps: Vec<u64>,
+    /// Dirty bits parallel to `tags`.
+    dirty: Vec<bool>,
+    tick: u64,
+}
+
+impl L2Slice {
+    /// Build a slice of `capacity_bytes` with the given line size and
+    /// associativity. Panics if geometry does not divide evenly (the
+    /// [`GpuConfig`](crate::GpuConfig) validator checks this upstream).
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "capacity must divide into whole sets"
+        );
+        let sets = lines / ways;
+        Self {
+            line_bytes: line_bytes as u64,
+            sets,
+            ways,
+            tags: vec![None; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Probe the line containing `addr`; fill on miss. `write` marks the
+    /// line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Probe {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let slot_range = base..base + self.ways;
+
+        // Hit?
+        for i in slot_range.clone() {
+            if self.tags[i] == Some(line) {
+                self.stamps[i] = self.tick;
+                if write {
+                    self.dirty[i] = true;
+                }
+                return Probe::Hit;
+            }
+        }
+        // Miss: fill invalid slot or evict LRU.
+        let victim = slot_range
+            .clone()
+            .find(|&i| self.tags[i].is_none())
+            .unwrap_or_else(|| {
+                slot_range
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("ways >= 1")
+            });
+        let dirty_writeback = self.tags[victim].is_some() && self.dirty[victim];
+        self.tags[victim] = Some(line);
+        self.stamps[victim] = self.tick;
+        self.dirty[victim] = write;
+        Probe::Miss { dirty_writeback }
+    }
+
+    /// Drop all contents (between kernels, when desired).
+    pub fn flush(&mut self) -> usize {
+        let dirty_lines = self.dirty.iter().filter(|&&d| d).count();
+        self.tags.fill(None);
+        self.dirty.fill(false);
+        self.stamps.fill(0);
+        dirty_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> L2Slice {
+        // 4 lines of 64 B, 2-way => 2 sets.
+        L2Slice::new(256, 64, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.sets(), 2);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0, false), Probe::Miss { .. }));
+        assert_eq!(c.access(0, false), Probe::Hit);
+        assert_eq!(c.access(63, false), Probe::Hit); // same line
+        assert!(matches!(c.access(64, false), Probe::Miss { .. })); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (line % 2 == 0).
+        c.access(0, false);
+        c.access(2 * 64, false);
+        c.access(0, false); // refresh line 0
+        c.access(4 * 64, false); // evicts line 2 (LRU)
+        assert_eq!(c.access(0, false), Probe::Hit);
+        assert!(matches!(c.access(2 * 64, false), Probe::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_writeback_reported() {
+        let mut c = tiny();
+        c.access(0, true); // dirty line 0 in set 0
+        c.access(2 * 64, false);
+        // Fill a third even line: evicts dirty line 0.
+        match c.access(4 * 64, false) {
+            Probe::Miss { dirty_writeback } => assert!(dirty_writeback),
+            Probe::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(2 * 64, false);
+        match c.access(4 * 64, false) {
+            Probe::Miss { dirty_writeback } => assert!(!dirty_writeback),
+            Probe::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn flush_counts_dirty() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, false);
+        assert_eq!(c.flush(), 1);
+        assert!(matches!(c.access(0, false), Probe::Miss { .. }));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        let mut misses = 0;
+        for round in 0..3 {
+            for line in 0..8u64 {
+                if matches!(c.access(line * 64, false), Probe::Miss { .. }) {
+                    misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        // 8 lines through a 4-line cache with LRU: every access misses.
+        assert_eq!(misses, 24);
+    }
+}

@@ -1,0 +1,434 @@
+//! The memory subsystem: FB partitions, address interleaving, DRAM
+//! bandwidth occupancy and the sliced L2.
+//!
+//! A GV100 groups its memory controllers into FB (frame buffer) partitions,
+//! one per HBM2 pseudo-channel. Physical addresses interleave across
+//! partitions at a fixed granularity so sequential streams spread evenly;
+//! each partition owns an L2 slice and its channel's bandwidth. "FB
+//! partitions do not communicate with each other" (§4) — a property the
+//! engine's data-layout discussion (§6.1) depends on.
+
+use crate::cache::{L2Slice, Probe};
+use crate::config::GpuConfig;
+use crate::stats::{TrafficBytes, TrafficClass};
+use crate::trace::{AccessKind, TraceBuffer, TraceEvent};
+
+/// DRAM/L2 transfer granularity within a cache line. GPU L2s are sectored:
+/// a 128 B line fills in 32 B sectors, so a narrow uncoalesced access
+/// only moves 32 B even though it allocates a full line tag.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Running totals for one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionCounters {
+    /// Nanoseconds of DRAM channel occupancy.
+    pub dram_busy_ns: f64,
+    /// Nanoseconds of L2 slice bandwidth occupancy.
+    pub l2_busy_ns: f64,
+    /// Bytes moved on the DRAM channel (reads + writes + writebacks).
+    pub dram_bytes: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+/// One FB partition: an L2 slice plus a DRAM pseudo-channel.
+#[derive(Debug, Clone)]
+pub struct FbPartition {
+    l2: L2Slice,
+    counters: PartitionCounters,
+    channel_ns_per_byte: f64,
+    l2_ns_per_byte: f64,
+}
+
+impl FbPartition {
+    fn new(config: &GpuConfig) -> Self {
+        Self {
+            l2: L2Slice::new(
+                config.l2_slice_bytes(),
+                config.l2_line_bytes,
+                config.l2_ways,
+            ),
+            counters: PartitionCounters::default(),
+            channel_ns_per_byte: 1.0 / config.channel_gbps,
+            l2_ns_per_byte: 1.0 / config.l2_slice_gbps,
+        }
+    }
+
+    /// Access one cache line, of which `touched` bytes (sector-rounded)
+    /// are actually demanded. Returns whether it hit in L2.
+    fn access_line(&mut self, addr: u64, write: bool, cost_factor: f64, touched: u64) -> bool {
+        let line = self.l2.line_bytes();
+        let touched = touched.min(line) as f64;
+        match self.l2.access(addr, write) {
+            Probe::Hit => {
+                self.counters.l2_hits += 1;
+                self.counters.l2_busy_ns += touched * self.l2_ns_per_byte * cost_factor;
+                true
+            }
+            Probe::Miss { dirty_writeback } => {
+                self.counters.l2_misses += 1;
+                let mut bytes = touched;
+                if dirty_writeback {
+                    // Dirty victims write back whole-line granularity.
+                    bytes += line as f64;
+                }
+                self.counters.dram_bytes += bytes as u64;
+                self.counters.dram_busy_ns += bytes * self.channel_ns_per_byte * cost_factor;
+                self.counters.l2_busy_ns += touched * self.l2_ns_per_byte * cost_factor;
+                false
+            }
+        }
+    }
+
+    /// The bandwidth-bound time of this partition: it is busy for whichever
+    /// of its two resources (channel, L2 slice) is more occupied.
+    pub fn busy_ns(&self) -> f64 {
+        self.counters.dram_busy_ns.max(self.counters.l2_busy_ns)
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> PartitionCounters {
+        self.counters
+    }
+}
+
+/// The full memory subsystem: every FB partition plus global counters.
+#[derive(Debug, Clone)]
+pub struct MemorySubsystem {
+    partitions: Vec<FbPartition>,
+    interleave: u64,
+    line_bytes: u64,
+    atomic_cost_factor: f64,
+    /// Bytes requested by SMs (pre-L2), per traffic class.
+    requested: TrafficBytes,
+    /// Bytes transferred from/to DRAM (post-L2), per traffic class.
+    dram: TrafficBytes,
+    atomics: u64,
+    trace: Option<TraceBuffer>,
+}
+
+impl MemorySubsystem {
+    /// Build from a validated config.
+    pub fn new(config: &GpuConfig) -> Self {
+        Self {
+            partitions: (0..config.num_partitions)
+                .map(|_| FbPartition::new(config))
+                .collect(),
+            interleave: config.interleave_bytes,
+            line_bytes: config.l2_line_bytes as u64,
+            atomic_cost_factor: config.atomic_cost_factor,
+            requested: TrafficBytes::default(),
+            dram: TrafficBytes::default(),
+            atomics: 0,
+            trace: None,
+        }
+    }
+
+    /// Start recording accesses into a ring of `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Stop recording and return the trace so far, if any.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take()
+    }
+
+    /// The live trace, if recording.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// The partition owning byte address `addr`.
+    #[inline]
+    pub fn partition_of(&self, addr: u64) -> usize {
+        ((addr / self.interleave) % self.partitions.len() as u64) as usize
+    }
+
+    /// Perform a global-memory access of `nbytes` starting at `addr`.
+    ///
+    /// The access is split into cache lines, each routed to its owning
+    /// partition. `write` stores (dirty lines), `atomic` applies the
+    /// read-modify-write occupancy factor from Table 1 ("atomic bandwidth
+    /// = 2× memory access").
+    pub fn access(
+        &mut self,
+        addr: u64,
+        nbytes: u64,
+        class: TrafficClass,
+        write: bool,
+        atomic: bool,
+    ) {
+        if nbytes == 0 {
+            return;
+        }
+        self.requested.add(class, nbytes);
+        if atomic {
+            self.atomics += 1;
+        }
+        if let Some(trace) = &mut self.trace {
+            let kind = if atomic {
+                AccessKind::Atomic
+            } else if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            trace.record(TraceEvent {
+                addr,
+                bytes: nbytes,
+                class,
+                kind,
+            });
+        }
+        let cost = if atomic { self.atomic_cost_factor } else { 1.0 };
+        let first_line = addr / self.line_bytes;
+        let last_line = (addr + nbytes - 1) / self.line_bytes;
+        for line in first_line..=last_line {
+            let line_addr = line * self.line_bytes;
+            // Sector-rounded bytes of this line the access demands.
+            let lo = addr.max(line_addr);
+            let hi = (addr + nbytes).min(line_addr + self.line_bytes);
+            let sec_lo = (lo - line_addr) / SECTOR_BYTES * SECTOR_BYTES;
+            let sec_hi = (hi - line_addr).div_ceil(SECTOR_BYTES) * SECTOR_BYTES;
+            let touched = (sec_hi - sec_lo).min(self.line_bytes);
+            let p = self.partition_of(line_addr);
+            let hit = self.partitions[p].access_line(line_addr, write || atomic, cost, touched);
+            if !hit {
+                self.dram.add(class, touched);
+            }
+        }
+    }
+
+    /// Bandwidth-bound time: the busiest partition bounds the kernel
+    /// (Figure 17's "camping problem" arises exactly when one partition's
+    /// busy time dwarfs the rest).
+    pub fn max_partition_busy_ns(&self) -> f64 {
+        self.partitions
+            .iter()
+            .map(FbPartition::busy_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-partition busy times (for load-balance experiments).
+    pub fn partition_busy_ns(&self) -> Vec<f64> {
+        self.partitions.iter().map(FbPartition::busy_ns).collect()
+    }
+
+    /// Aggregate counters over all partitions.
+    pub fn aggregate(&self) -> PartitionCounters {
+        let mut total = PartitionCounters::default();
+        for p in &self.partitions {
+            let c = p.counters();
+            total.dram_busy_ns += c.dram_busy_ns;
+            total.l2_busy_ns += c.l2_busy_ns;
+            total.dram_bytes += c.dram_bytes;
+            total.l2_hits += c.l2_hits;
+            total.l2_misses += c.l2_misses;
+        }
+        total
+    }
+
+    /// Requested (pre-L2) traffic per class.
+    pub fn requested_traffic(&self) -> TrafficBytes {
+        self.requested
+    }
+
+    /// DRAM (post-L2) traffic per class.
+    pub fn dram_traffic(&self) -> TrafficBytes {
+        self.dram
+    }
+
+    /// Number of atomic operations issued.
+    pub fn atomics(&self) -> u64 {
+        self.atomics
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Invalidate all L2 contents (cold-cache experiments).
+    pub fn flush_l2(&mut self) {
+        for p in &mut self.partitions {
+            p.l2.flush();
+        }
+    }
+
+    /// Snapshot used by the machine to compute per-kernel deltas.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            busy: self.partitions.iter().map(FbPartition::busy_ns).collect(),
+            requested: self.requested,
+            dram: self.dram,
+            l2_hits: self.aggregate().l2_hits,
+            l2_misses: self.aggregate().l2_misses,
+            atomics: self.atomics,
+        }
+    }
+}
+
+/// Point-in-time copy of the memory counters (see
+/// [`MemorySubsystem::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    /// Per-partition busy ns at snapshot time.
+    pub busy: Vec<f64>,
+    /// Requested traffic at snapshot time.
+    pub requested: TrafficBytes,
+    /// DRAM traffic at snapshot time.
+    pub dram: TrafficBytes,
+    /// L2 hits at snapshot time.
+    pub l2_hits: u64,
+    /// L2 misses at snapshot time.
+    pub l2_misses: u64,
+    /// Atomics at snapshot time.
+    pub atomics: u64,
+}
+
+impl MemSnapshot {
+    /// Max over partitions of busy-time growth since this snapshot.
+    pub fn max_busy_delta(&self, now: &MemorySubsystem) -> f64 {
+        now.partition_busy_ns()
+            .iter()
+            .zip(&self.busy)
+            .map(|(a, b)| a - b)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySubsystem {
+        MemorySubsystem::new(&GpuConfig::test_small())
+    }
+
+    #[test]
+    fn interleaving_spreads_addresses() {
+        let m = mem();
+        // 256 B interleave over 4 partitions.
+        assert_eq!(m.partition_of(0), 0);
+        assert_eq!(m.partition_of(255), 0);
+        assert_eq!(m.partition_of(256), 1);
+        assert_eq!(m.partition_of(3 * 256), 3);
+        assert_eq!(m.partition_of(4 * 256), 0);
+    }
+
+    #[test]
+    fn sequential_stream_balances_partitions() {
+        let mut m = mem();
+        m.access(0, 64 * 1024, TrafficClass::MatB, false, false);
+        let busy = m.partition_busy_ns();
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        let min = busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 0.0);
+        assert!((max - min) / max < 0.01, "imbalance: {busy:?}");
+    }
+
+    #[test]
+    fn camping_stream_loads_one_partition() {
+        let mut m = mem();
+        // Touch only addresses owned by partition 0 (every 4th interleave
+        // unit) — the §6.1 camping pathologie.
+        for i in 0..256u64 {
+            m.access(i * 4 * 256, 128, TrafficClass::MatA, false, false);
+        }
+        let busy = m.partition_busy_ns();
+        assert!(busy[0] > 0.0);
+        assert_eq!(busy[1], 0.0);
+        assert_eq!(busy[2], 0.0);
+    }
+
+    #[test]
+    fn l2_hit_avoids_dram_traffic() {
+        let mut m = mem();
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        let cold = m.dram_traffic().total();
+        assert_eq!(cold, 128);
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        assert_eq!(m.dram_traffic().total(), cold, "hit must add no DRAM bytes");
+        assert_eq!(m.aggregate().l2_hits, 1);
+        assert_eq!(m.requested_traffic().total(), 256);
+    }
+
+    #[test]
+    fn access_spanning_lines_touches_each() {
+        let mut m = mem();
+        // 256 bytes starting mid-line: 3 lines, sector-rounded 64+128+64.
+        m.access(64, 256, TrafficClass::MatA, false, false);
+        assert_eq!(m.aggregate().l2_misses, 3);
+        assert_eq!(m.dram_traffic().total(), 64 + 128 + 64);
+    }
+
+    #[test]
+    fn atomics_cost_double_occupancy() {
+        let mut a = mem();
+        a.access(0, 128, TrafficClass::MatC, true, false);
+        let plain = a.max_partition_busy_ns();
+        let mut b = mem();
+        b.access(0, 128, TrafficClass::MatC, true, true);
+        let atomic = b.max_partition_busy_ns();
+        assert!(
+            (atomic / plain - 2.0).abs() < 1e-9,
+            "atomic {atomic} plain {plain}"
+        );
+        assert_eq!(b.atomics(), 1);
+    }
+
+    #[test]
+    fn dirty_writeback_adds_dram_bytes() {
+        let mut m = mem();
+        // Slice is 16 KB, 8-way, 128 lines, 16 sets. Lines owned by
+        // partition 0 that map to set 0: stride = sets * line = 2 KB, and we
+        // need the partition_of(addr) == 0, true when (addr/256) % 4 == 0.
+        // addr = k * 8 KB satisfies both (8 KB = 4 * 2 KB interleave units).
+        let stride = 8 * 1024u64;
+        for k in 0..8 {
+            m.access(k * stride, 1, TrafficClass::MatC, true, false);
+        }
+        let before = m.dram_traffic().total();
+        // A 9th distinct line in the same set evicts a dirty victim.
+        m.access(8 * stride, 1, TrafficClass::MatC, true, false);
+        let delta = m.dram_traffic().total() - before;
+        assert_eq!(delta, 32, "narrow miss fills one sector under the class");
+        // The writeback shows up in the channel occupancy (2 lines worth).
+        let agg = m.aggregate();
+        // The evicted dirty line writes back at line granularity.
+        assert!(agg.dram_bytes >= before + 32 + 128);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let mut m = mem();
+        m.access(0, 1024, TrafficClass::MatB, false, false);
+        let snap = m.snapshot();
+        m.access(1 << 20, 2048, TrafficClass::MatA, false, false);
+        assert!(snap.max_busy_delta(&m) > 0.0);
+        assert_eq!(
+            m.requested_traffic().get(TrafficClass::MatA) - snap.requested.get(TrafficClass::MatA),
+            2048
+        );
+    }
+
+    #[test]
+    fn flush_forces_remisses() {
+        let mut m = mem();
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        m.flush_l2();
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        assert_eq!(m.aggregate().l2_misses, 2);
+    }
+
+    #[test]
+    fn zero_byte_access_is_noop() {
+        let mut m = mem();
+        m.access(0, 0, TrafficClass::Other, false, false);
+        assert_eq!(m.requested_traffic().total(), 0);
+        assert_eq!(m.aggregate().l2_misses, 0);
+    }
+}

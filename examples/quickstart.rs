@@ -1,0 +1,79 @@
+//! Quickstart: auto-tuned SpMM on one matrix.
+//!
+//! Generates a sparse matrix, lets the planner profile it with the SSF
+//! heuristic (Eq. 2 of the paper), runs the chosen kernel on the simulated
+//! GV100 — C-stationary untiled DCSR or B-stationary tiled DCSR converted
+//! online by the near-memory engine — and prints the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spmm_nmt::formats::SparseMatrix;
+use spmm_nmt::matgen::{generators, random_dense, GenKind, MatrixDesc};
+use spmm_nmt::planner::planner::{PlannerConfig, SpmmPlanner};
+
+fn main() {
+    // An 8192 x 8192 sparse matrix with clustered row segments (the regime
+    // where the near-memory engine shines) and 64 dense vectors.
+    let desc = MatrixDesc::new(
+        "quickstart",
+        8192,
+        GenKind::RowBursts {
+            density: 0.005,
+            burst_len: 32,
+        },
+        7,
+    );
+    let a = generators::generate(&desc);
+    let b = random_dense(a.shape().ncols, 64, 11);
+
+    println!(
+        "matrix {}: {} ({} non-zeros, density {:.4}%)",
+        desc.name,
+        a.shape(),
+        a.nnz(),
+        a.density() * 100.0
+    );
+
+    let mut config = PlannerConfig::paper_default();
+    // Keep the shared-memory B tile within bounds for K = 64.
+    config.tile_w = 64;
+    config.tile_h = 64;
+    let planner = SpmmPlanner::new(config);
+
+    let (profile, choice) = planner.plan(&a);
+    println!(
+        "SSF profile: ssf = {:.3e}, H_norm = {:.3}, nnz rows = {:.1}%",
+        profile.ssf,
+        profile.h_norm,
+        profile.nnzrow_frac * 100.0
+    );
+    println!("heuristic choice: {choice:?}");
+
+    let report = planner.execute(&a, &b).expect("simulation runs");
+    println!("algorithm executed : {:?}", report.algorithm);
+    println!(
+        "baseline (cuSPARSE stand-in): {:.1} us",
+        report.baseline_stats.total_ns / 1e3
+    );
+    println!(
+        "chosen kernel               : {:.1} us",
+        report.stats.total_ns / 1e3
+    );
+    println!("speedup                     : {:.2}x", report.speedup);
+    if let Some(engine) = &report.engine {
+        println!(
+            "engine: converted {} elements into {} DCSR rows across {} tiles ({:.1} nJ)",
+            engine.elements,
+            engine.rows_emitted,
+            engine.tiles,
+            report.engine_energy_pj / 1e3
+        );
+    }
+    let stall = report.stats.stall_breakdown();
+    println!(
+        "stalls: memory {:.0}%, sm {:.0}%, other {:.0}%",
+        stall.memory * 100.0,
+        stall.sm * 100.0,
+        stall.other * 100.0
+    );
+}

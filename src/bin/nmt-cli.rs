@@ -1,0 +1,216 @@
+//! `nmt-cli` — command-line front end for the near-memory-transform SpMM
+//! system: profile Matrix Market files, run the conversion engine, and
+//! simulate auto-tuned SpMM.
+//!
+//! ```text
+//! nmt-cli profile <file.mtx> [--tile N]
+//! nmt-cli convert <file.mtx> [--tile N]
+//! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
+//! nmt-cli suite   [--scale small|medium|paper]
+//! nmt-cli help
+//! ```
+
+use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, EngineTiming};
+use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
+use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
+use spmm_nmt::model::ssf::SsfProfile;
+use spmm_nmt::planner::planner::{PlannerConfig, SpmmPlanner};
+use spmm_nmt::planner::DEFAULT_SSF_THRESHOLD;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Die quietly on a closed pipe (`nmt-cli suite | head`), like other
+    // Unix CLI tools, instead of panicking in println!.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        Some(c) => c.as_str(),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rest: Vec<&String> = it.collect();
+    let result = match cmd {
+        "profile" => cmd_profile(&rest),
+        "convert" => cmd_convert(&rest),
+        "spmm" => cmd_spmm(&rest),
+        "suite" => cmd_suite(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "nmt-cli — near-memory-transform SpMM toolkit
+
+USAGE:
+  nmt-cli profile <file.mtx> [--tile N]   SSF profile + algorithm recommendation
+  nmt-cli convert <file.mtx> [--tile N]   run the CSC->tiled-DCSR engine model
+  nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
+                                          simulate auto-tuned SpMM vs baseline
+  nmt-cli suite   [--scale small|medium|paper]
+                                          enumerate the synthetic suite
+  nmt-cli help                            this message";
+
+fn flag(rest: &[&String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.to_string())
+}
+
+fn parse_flag<T: std::str::FromStr>(rest: &[&String], name: &str, default: T) -> Result<T, String> {
+    match flag(rest, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
+    }
+}
+
+fn load(rest: &[&String]) -> Result<Csr, String> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .ok_or("missing <file.mtx> argument")?;
+    let (coo, header) = market::read_market_file(path).map_err(|e| e.to_string())?;
+    eprintln!("loaded {path}: {:?}", header);
+    Ok(Csr::from_coo(&coo))
+}
+
+fn cmd_profile(rest: &[&String]) -> Result<(), String> {
+    let tile: usize = parse_flag(rest, "--tile", 64)?;
+    let a = load(rest)?;
+    let p = SsfProfile::compute(&a, tile);
+    println!("shape            : {}", a.shape());
+    println!(
+        "nnz              : {} (density {:.5}%)",
+        a.nnz(),
+        a.density() * 100.0
+    );
+    println!("non-empty rows   : {:.1}%", p.nnzrow_frac * 100.0);
+    println!("mean strip occ.  : {:.2}%", p.mean_strip_frac * 100.0);
+    println!("H_norm           : {:.4}", p.h_norm);
+    println!("SSF              : {:.4e}", p.ssf);
+    let choice = spmm_nmt::model::classify(p.ssf, &DEFAULT_SSF_THRESHOLD);
+    println!(
+        "recommendation   : {choice:?} (SSF_th = {:.3e})",
+        DEFAULT_SSF_THRESHOLD.threshold
+    );
+    // Storage comparison the user would care about.
+    let dcsr = Dcsr::from_csr(&a);
+    let tdcsr = TiledDcsr::from_csr(&a, tile, tile).map_err(|e| e.to_string())?;
+    println!(
+        "storage          : CSR {} B | DCSR {} B | tiled DCSR {} B ({:.2}x CSR)",
+        a.storage_bytes(),
+        dcsr.storage_bytes(),
+        tdcsr.storage_bytes(),
+        tdcsr.storage_bytes() as f64 / a.storage_bytes() as f64
+    );
+    Ok(())
+}
+
+fn cmd_convert(rest: &[&String]) -> Result<(), String> {
+    let tile: usize = parse_flag(rest, "--tile", 64)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
+    let a = load(rest)?;
+    let csc = a.to_csc();
+    let (tiles, stats) = convert_matrix(&csc, tile, tile);
+    let tree = ComparatorTree::new(tile).structure();
+    let timing = EngineTiming::fp32(13.6, &tree);
+    let per_strip_ns = timing.conversion_time_ns(&stats) / tiles.len().max(1) as f64;
+    println!("strips           : {}", tiles.len());
+    println!("tiles            : {}", stats.tiles);
+    println!("elements         : {}", stats.elements);
+    println!("DCSR rows        : {}", stats.rows_emitted);
+    println!("comparator passes: {}", stats.comparator_passes);
+    println!("engine input     : {} B (CSC stream)", stats.input_bytes);
+    println!(
+        "engine output    : {} B (tiled DCSR over Xbar)",
+        stats.output_bytes
+    );
+    println!(
+        "engine time      : {:.1} ns/strip sequential, {:.1} ns across {} parallel units",
+        per_strip_ns,
+        timing.conversion_time_ns(&stats) / 64.0,
+        64
+    );
+    println!(
+        "energy           : {:.1} nJ",
+        conversion_energy_pj(&stats, false) / 1e3
+    );
+    Ok(())
+}
+
+fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
+    let k: usize = parse_flag(rest, "--k", 64)?;
+    let tile: usize = parse_flag(rest, "--tile", 64)?;
+    let a = load(rest)?;
+    let b = random_dense(a.shape().ncols, k, 0xB);
+    let mut config = PlannerConfig::paper_default();
+    config.tile_w = tile;
+    config.tile_h = tile;
+    let report = SpmmPlanner::new(config)
+        .execute(&a, &b)
+        .map_err(|e| e.to_string())?;
+    if rest.iter().any(|x| x.as_str() == "--json") {
+        use spmm_nmt::planner::RunRecord;
+        let record = RunRecord::from_report("cli", a.shape().nrows, a.nnz(), &report);
+        println!("{}", record.to_json());
+        return Ok(());
+    }
+    println!("SSF              : {:.4e}", report.profile.ssf);
+    println!("algorithm        : {:?}", report.algorithm);
+    println!(
+        "baseline         : {:.2} us",
+        report.baseline_stats.total_ns / 1e3
+    );
+    println!("chosen           : {:.2} us", report.stats.total_ns / 1e3);
+    println!("speedup          : {:.2}x", report.speedup);
+    if let Some(e) = &report.engine {
+        println!(
+            "engine           : {} elements -> {} rows, {:.1} nJ",
+            e.elements,
+            e.rows_emitted,
+            report.engine_energy_pj / 1e3
+        );
+    }
+    let s = report.stats.stall_breakdown();
+    println!(
+        "stalls           : memory {:.0}% / sm {:.0}% / other {:.0}%",
+        s.memory * 100.0,
+        s.sm * 100.0,
+        s.other * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_suite(rest: &[&String]) -> Result<(), String> {
+    let scale = match flag(rest, "--scale").as_deref() {
+        None | Some("small") => SuiteScale::Small,
+        Some("medium") => SuiteScale::Medium,
+        Some("paper") => SuiteScale::Paper,
+        Some(other) => return Err(format!("unknown scale {other:?}")),
+    };
+    let spec = SuiteSpec::new(scale, 0x5C19);
+    let descs = spec.descriptors();
+    println!("{} matrices at {scale:?} scale:", descs.len());
+    for d in descs {
+        println!("  {} (n = {}, seed = {:#x})", d.name, d.n, d.seed);
+    }
+    Ok(())
+}

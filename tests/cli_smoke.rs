@@ -1,0 +1,106 @@
+//! End-to-end smoke test of the `nmt-cli` binary: write a Matrix Market
+//! file, then run every subcommand against it as a user would.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nmt-cli"))
+}
+
+fn demo_matrix() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nmt_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("demo.mtx");
+    let m = spmm_nmt::matgen::generators::generate(&spmm_nmt::matgen::MatrixDesc::new(
+        "demo",
+        256,
+        spmm_nmt::matgen::GenKind::RowBursts {
+            density: 0.02,
+            burst_len: 8,
+        },
+        3,
+    ));
+    spmm_nmt::formats::market::write_market_file(&path, &m.to_coo()).expect("write mtx");
+    path
+}
+
+#[test]
+fn profile_subcommand() {
+    let path = demo_matrix();
+    let out = cli()
+        .args(["profile", path.to_str().expect("utf8 path"), "--tile", "16"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SSF"), "missing SSF in: {text}");
+    assert!(text.contains("recommendation"));
+}
+
+#[test]
+fn convert_subcommand() {
+    let path = demo_matrix();
+    let out = cli()
+        .args(["convert", path.to_str().expect("utf8 path"), "--tile", "16"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("comparator passes"));
+    assert!(text.contains("energy"));
+}
+
+#[test]
+fn spmm_subcommand_json() {
+    let path = demo_matrix();
+    let out = cli()
+        .args([
+            "spmm",
+            path.to_str().expect("utf8 path"),
+            "--k",
+            "16",
+            "--tile",
+            "16",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert!(parsed["speedup"].as_f64().expect("speedup field") > 0.0);
+    assert_eq!(parsed["nrows"].as_u64(), Some(256));
+}
+
+#[test]
+fn suite_subcommand_and_errors() {
+    let out = cli()
+        .args(["suite", "--scale", "small"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("matrices at Small scale"));
+
+    // Unknown command and missing file fail politely.
+    let out = cli().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let out = cli()
+        .args(["profile", "/definitely/not/here.mtx"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let out = cli()
+        .args([
+            "convert",
+            demo_matrix().to_str().expect("utf8"),
+            "--tile",
+            "65",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "tile > 64 must be rejected");
+}

@@ -1,0 +1,145 @@
+//! All seven simulated SpMM dataflows must agree with the host reference
+//! (and therefore with each other) on arbitrary inputs, while exhibiting
+//! the hardware behaviours the paper attributes to them.
+
+use proptest::prelude::*;
+use spmm_nmt::formats::{Coo, Csr, Dcsr, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
+use spmm_nmt::kernels::{
+    astat_tiled, bstat_tiled_csr, bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online,
+    csrmm_cusparse, csrmm_row_per_thread, csrmm_row_per_warp, dcsrmm_row_per_warp, host,
+};
+use spmm_nmt::sim::{Gpu, GpuConfig, TrafficClass};
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuConfig::test_small()).expect("test config valid")
+}
+
+fn case_strategy() -> impl Strategy<Value = (Csr, DenseMatrix)> {
+    (8usize..=48, 1usize..=24).prop_flat_map(|(n, k)| {
+        let entry = (0..n as u32, 0..n as u32, 1i32..50);
+        let entries = proptest::collection::vec(entry, 0..120);
+        let bvals = proptest::collection::vec(-10i32..10, n * k);
+        (entries, bvals).prop_map(move |(es, bs)| {
+            let mut coo = Coo::new(n, n).expect("valid dims");
+            for (r, c, v) in es {
+                coo.push(r, c, v as f32 * 0.25).expect("in bounds");
+            }
+            coo.canonicalize();
+            let b =
+                DenseMatrix::from_row_major(n, k, bs.into_iter().map(|v| v as f32 * 0.5).collect())
+                    .expect("length matches");
+            (Csr::from_coo(&coo), b)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_dataflow_matches_the_reference((a, b) in case_strategy()) {
+        let reference = host::spmm_csr(&a, &b);
+        let tol = 1e-3;
+
+        let r = csrmm_cusparse(&mut gpu(), &a, &b).expect("cusparse");
+        prop_assert!(r.c.approx_eq(&reference, tol), "cusparse diverged");
+
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).expect("rpw");
+        prop_assert!(r.c.approx_eq(&reference, tol), "row-per-warp diverged");
+
+        let r = csrmm_row_per_thread(&mut gpu(), &a, &b).expect("rpt");
+        prop_assert!(r.c.approx_eq(&reference, tol), "row-per-thread diverged");
+
+        let dcsr = Dcsr::from_csr(&a);
+        let r = dcsrmm_row_per_warp(&mut gpu(), &dcsr, &b).expect("dcsr");
+        prop_assert!(r.c.approx_eq(&reference, tol), "dcsr diverged");
+
+        let tcsr = TiledCsr::from_csr(&a, 8).expect("tiling");
+        let r = bstat_tiled_csr(&mut gpu(), &tcsr, &b, 8).expect("tiled csr");
+        prop_assert!(r.c.approx_eq(&reference, tol), "bstat tiled csr diverged");
+
+        let tdcsr = TiledDcsr::from_csr(&a, 8, 8).expect("tiling");
+        let r = bstat_tiled_dcsr_offline(&mut gpu(), &tdcsr, &b).expect("offline");
+        prop_assert!(r.c.approx_eq(&reference, tol), "bstat offline diverged");
+
+        let online = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, 8, 8).expect("online");
+        prop_assert!(online.run.c.approx_eq(&reference, tol), "bstat online diverged");
+        prop_assert_eq!(online.engine.elements as usize, a.nnz());
+
+        let r = astat_tiled(&mut gpu(), &a, &b, 8).expect("astat");
+        prop_assert!(r.c.approx_eq(&reference, tol), "astat diverged");
+    }
+
+    #[test]
+    fn dataflow_signatures_hold((a, b) in case_strategy()) {
+        // C-stationary kernels never issue atomics; B-/A-stationary do
+        // (when there is any work).
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).expect("rpw");
+        prop_assert_eq!(r.stats.atomics, 0);
+        let r = dcsrmm_row_per_warp(&mut gpu(), &Dcsr::from_csr(&a), &b).expect("dcsr");
+        prop_assert_eq!(r.stats.atomics, 0);
+
+        let online = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, 8, 8).expect("online");
+        if a.nnz() > 0 {
+            prop_assert!(online.run.stats.atomics > 0, "B-stationary must use atomics");
+        }
+
+        // Every kernel that touched non-zeros did FP work and read A and B.
+        if a.nnz() > 0 {
+            prop_assert!(online.run.stats.flops > 0);
+            prop_assert!(online.run.stats.requested_traffic.get(TrafficClass::MatA) > 0);
+            prop_assert!(online.run.stats.requested_traffic.get(TrafficClass::MatB) > 0);
+        }
+    }
+
+    #[test]
+    fn flop_count_is_exact((a, b) in case_strategy()) {
+        // Row-per-warp performs exactly 2·nnz·K FLOPs (one FMA per
+        // non-zero per output column).
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).expect("rpw");
+        prop_assert_eq!(r.stats.flops, 2 * a.nnz() as u64 * b.ncols() as u64);
+    }
+
+    #[test]
+    fn timing_is_positive_and_bounded((a, b) in case_strategy()) {
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).expect("rpw");
+        let s = &r.stats;
+        prop_assert!(s.total_ns >= s.t_overhead_ns);
+        prop_assert!(s.total_ns >= s.t_compute_ns);
+        prop_assert!(s.total_ns >= s.t_memory_ns);
+        prop_assert!(s.total_ns >= s.t_latency_ns);
+        let b = s.stall_breakdown();
+        prop_assert!((b.memory + b.sm + b.other - 1.0).abs() < 1e-6);
+        prop_assert!(b.memory >= 0.0 && b.sm >= 0.0 && b.other >= 0.0);
+    }
+
+    #[test]
+    fn dram_traffic_never_exceeds_requested_plus_lines((a, b) in case_strategy()) {
+        // DRAM bytes are sector-rounded, so they can exceed requested
+        // bytes by at most one sector (32 B) per access; a generous bound
+        // is requested + 64 B per miss.
+        let r = csrmm_row_per_warp(&mut gpu(), &a, &b).expect("rpw");
+        let s = &r.stats;
+        let bound = s.requested_traffic.total() + 64 * s.l2_misses;
+        prop_assert!(s.dram_traffic.total() <= bound,
+            "dram {} > bound {}", s.dram_traffic.total(), bound);
+    }
+}
+
+#[test]
+fn identity_times_identity_block() {
+    // I * B == B for every kernel.
+    let n = 16;
+    let coo = Coo::from_triplets(
+        n,
+        n,
+        &(0..n as u32).collect::<Vec<_>>(),
+        &(0..n as u32).collect::<Vec<_>>(),
+        &vec![1.0; n],
+    )
+    .expect("identity");
+    let a = Csr::from_coo(&coo);
+    let b = DenseMatrix::from_fn(n, 4, |r, c| (r * 4 + c) as f32);
+    let online = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, 8, 8).expect("online");
+    assert!(online.run.c.approx_eq(&b, 1e-6));
+}

@@ -1,0 +1,120 @@
+//! Property tests on the analytical models: entropy bounds, SSF behaviour,
+//! Table 1 traffic relations and threshold learning.
+
+use proptest::prelude::*;
+use spmm_nmt::formats::{Coo, Csr, SparseMatrix};
+use spmm_nmt::model::ssf::SsfProfile;
+use spmm_nmt::model::{classify, learn_threshold, normalized_entropy, Dataflow, TrafficModel};
+
+fn csr_strategy() -> impl Strategy<Value = Csr> {
+    (4usize..=64).prop_flat_map(|n| {
+        let entry = (0..n as u32, 0..n as u32, 1i32..10);
+        proptest::collection::vec(entry, 0..200).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n).expect("valid dims");
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f32).expect("in bounds");
+            }
+            coo.canonicalize();
+            Csr::from_coo(&coo)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn entropy_is_bounded_and_scale_free(csr in csr_strategy(), tile_w in 1usize..=32) {
+        let h = normalized_entropy(&csr, tile_w);
+        prop_assert!((0.0..=1.0).contains(&h), "H_norm = {}", h);
+        // Scaling all values changes nothing: entropy is structural.
+        let scaled = Csr::new(
+            csr.shape().nrows,
+            csr.shape().ncols,
+            csr.rowptr().to_vec(),
+            csr.colidx().to_vec(),
+            csr.values().iter().map(|v| v * 3.0).collect(),
+        ).expect("same structure");
+        prop_assert_eq!(normalized_entropy(&scaled, tile_w), h);
+    }
+
+    #[test]
+    fn wider_strips_never_increase_entropy(csr in csr_strategy()) {
+        // Doubling the strip width can only merge segments, never split
+        // them, so entropy (scatteredness) is non-increasing in width.
+        let h8 = normalized_entropy(&csr, 8);
+        let h16 = normalized_entropy(&csr, 16);
+        let h_full = normalized_entropy(&csr, csr.shape().ncols.max(1));
+        prop_assert!(h16 <= h8 + 1e-12, "h16 {} > h8 {}", h16, h8);
+        prop_assert!(h_full <= h16 + 1e-12);
+    }
+
+    #[test]
+    fn ssf_profile_terms_are_sane(csr in csr_strategy(), tile_w in 1usize..=32) {
+        let p = SsfProfile::compute(&csr, tile_w);
+        prop_assert!((0.0..=1.0).contains(&p.nnzrow_frac));
+        prop_assert!((0.0..=1.0).contains(&p.mean_strip_frac));
+        prop_assert!(p.ssf >= 0.0);
+        prop_assert_eq!(p.nnz as usize, csr.nnz());
+        // A row touching any strip implies strip fraction <= row fraction
+        // summed over strips: mean_strip_frac <= nnzrow_frac always.
+        prop_assert!(p.mean_strip_frac <= p.nnzrow_frac + 1e-12);
+    }
+
+    #[test]
+    fn traffic_estimates_are_positive_and_ordered(
+        n in 128usize..4096,
+        k in 8usize..128,
+        d in 1e-4f64..5e-2,
+    ) {
+        let m = TrafficModel::uniform(n, k, d);
+        for df in Dataflow::ALL {
+            let e = m.estimate(df);
+            prop_assert!(e.a_bytes > 0.0 && e.b_bytes > 0.0 && e.c_bytes > 0.0);
+        }
+        // A-stationary fetches A once; the others refetch per strip.
+        let a = m.estimate(Dataflow::AStationary);
+        let b = m.estimate(Dataflow::BStationary);
+        let c = m.estimate(Dataflow::CStationary);
+        prop_assert!(a.a_bytes <= b.a_bytes);
+        prop_assert!((b.a_bytes - c.a_bytes).abs() < 1e-6);
+        // B-stationary fetches B once (n_nnzcol·n); C-stationary refetches
+        // per non-zero (nnz·n >= n_nnzcol·n).
+        prop_assert!(b.b_bytes <= c.b_bytes + 1e-6);
+        // B-stationary pays atomics on C; C-stationary does not.
+        prop_assert!(c.c_bytes <= b.c_bytes + 1e-6);
+    }
+
+    #[test]
+    fn threshold_learning_is_consistent(
+        points in proptest::collection::vec((1e-3f64..1e6, 0.1f64..10.0), 1..100)
+    ) {
+        let th = learn_threshold(&points);
+        prop_assert!((0.0..=1.0).contains(&th.accuracy));
+        // The learned accuracy matches a recount with the same threshold.
+        let correct = points
+            .iter()
+            .filter(|&&(ssf, ratio)| {
+                let predicted_b =
+                    classify(ssf, &th) == spmm_nmt::model::ssf::Choice::BStationary;
+                predicted_b == (ratio > 1.0)
+            })
+            .count();
+        prop_assert_eq!(th.accuracy, correct as f64 / points.len() as f64);
+        // No single-class split can beat the learned threshold.
+        let all_b = points.iter().filter(|&&(_, r)| r > 1.0).count();
+        let majority = all_b.max(points.len() - all_b) as f64 / points.len() as f64;
+        prop_assert!(th.accuracy >= majority - 1e-12);
+    }
+}
+
+#[test]
+fn entropy_extremes() {
+    // One dense row segment: 0. Fully scattered: 1.
+    let clustered =
+        Csr::from_coo(&Coo::from_triplets(8, 8, &[0, 0, 0], &[0, 1, 2], &[1.0; 3]).expect("valid"));
+    assert_eq!(normalized_entropy(&clustered, 8), 0.0);
+    let scattered =
+        Csr::from_coo(&Coo::from_triplets(8, 8, &[0, 2, 4], &[0, 3, 6], &[1.0; 3]).expect("valid"));
+    assert!((normalized_entropy(&scattered, 2) - 1.0).abs() < 1e-12);
+}
