@@ -161,6 +161,7 @@ impl<'a> ConversionQueue<'a> {
                 let after = self.converters[&req.strip_id].stats();
                 let delta = ConversionStats {
                     comparator_passes: after.comparator_passes - before.comparator_passes,
+                    lane_slots: after.lane_slots - before.lane_slots,
                     elements: after.elements - before.elements,
                     rows_emitted: after.rows_emitted - before.rows_emitted,
                     tiles: after.tiles - before.tiles,
@@ -182,13 +183,7 @@ impl<'a> ConversionQueue<'a> {
     pub fn stats(&self) -> ConversionStats {
         let mut total = ConversionStats::default();
         for conv in self.converters.values() {
-            let s = conv.stats();
-            total.comparator_passes += s.comparator_passes;
-            total.elements += s.elements;
-            total.rows_emitted += s.rows_emitted;
-            total.tiles += s.tiles;
-            total.input_bytes += s.input_bytes;
-            total.output_bytes += s.output_bytes;
+            total.merge(&conv.stats());
         }
         total
     }

@@ -2,9 +2,10 @@
 
 use nmt_engine::{conversion_energy_pj, ConversionStats};
 use nmt_formats::{Csr, Dcsr, DenseMatrix, SparseMatrix};
-use nmt_kernels::{bstat_tiled_dcsr_online, csrmm_cusparse, dcsrmm_row_per_warp};
+use nmt_kernels::{bstat_tiled_dcsr_online_obs, csrmm_cusparse, dcsrmm_row_per_warp};
 use nmt_model::ssf::{classify, Choice, SsfProfile, SsfThreshold};
-use nmt_sim::{Gpu, GpuConfig, KernelStats, SimError};
+use nmt_obs::ObsContext;
+use nmt_sim::{publish_kernel_stats, Gpu, GpuConfig, KernelStats, SimError};
 use serde::{Deserialize, Serialize};
 
 /// Default decision threshold, learned offline by
@@ -114,26 +115,66 @@ impl SpmmPlanner {
     /// Each kernel runs on a fresh, cold-cache GPU instance so timings are
     /// comparable (the paper measures isolated kernels too).
     pub fn execute(&self, a: &Csr, b: &DenseMatrix) -> Result<PlanReport, SimError> {
-        let (profile, choice) = self.plan(a);
+        self.execute_with_obs(a, b, &ObsContext::disabled())
+    }
 
-        let mut base_gpu = Gpu::new(self.config.gpu.clone())?;
-        let baseline = csrmm_cusparse(&mut base_gpu, a, b)?;
+    /// [`execute`](Self::execute) with an observability context: the run is
+    /// decomposed into spans (`planner.execute` → `planner.plan`,
+    /// `planner.baseline`, `planner.chosen`, with the chosen kernel's
+    /// `engine.convert`/`kernels.launch` nested below), per-phase wall
+    /// clock lands in `planner.phase.*_ns` gauges, and both kernels'
+    /// [`KernelStats`] are bridged into the registry under
+    /// `kernels.baseline.*` / `kernels.chosen.*`.
+    pub fn execute_with_obs(
+        &self,
+        a: &Csr,
+        b: &DenseMatrix,
+        obs: &ObsContext,
+    ) -> Result<PlanReport, SimError> {
+        let mut root = obs.span("planner.execute");
+        root.counter("nrows", a.shape().nrows as f64);
+        root.counter("nnz", a.nnz() as f64);
 
+        let t0 = obs.recorder.now_ns();
+        let (profile, choice) = {
+            let mut s = obs.span("planner.plan");
+            let (profile, choice) = self.plan(a);
+            s.counter("ssf", profile.ssf);
+            (profile, choice)
+        };
+        let t_plan = obs.recorder.now_ns();
+
+        let baseline = {
+            let _s = obs.span("planner.baseline");
+            let mut base_gpu = Gpu::new(self.config.gpu.clone())?;
+            csrmm_cusparse(&mut base_gpu, a, b)?
+        };
+        publish_kernel_stats(obs, "kernels.baseline", &baseline.stats);
+        let t_baseline = obs.recorder.now_ns();
+
+        let chosen_span = obs.span("planner.chosen");
         let mut gpu = Gpu::new(self.config.gpu.clone())?;
         let (algorithm, stats, c, engine) = match choice {
             Choice::CStationary => {
-                let dcsr = Dcsr::from_csr(a);
-                let run = dcsrmm_row_per_warp(&mut gpu, &dcsr, b)?;
+                let dcsr = {
+                    let _s = obs.span("engine.convert");
+                    Dcsr::from_csr(a)
+                };
+                let run = {
+                    let _s = obs.span("kernels.launch");
+                    dcsrmm_row_per_warp(&mut gpu, &dcsr, b)?
+                };
                 (Algorithm::CStationaryDcsr, run.stats, run.c, None)
             }
             Choice::BStationary => {
                 let csc = a.to_csc();
-                let online = bstat_tiled_dcsr_online(
+                let online = bstat_tiled_dcsr_online_obs(
                     &mut gpu,
                     &csc,
                     b,
                     self.config.tile_w,
                     self.config.tile_h,
+                    obs,
                 )?;
                 (
                     Algorithm::BStationaryOnline,
@@ -143,6 +184,17 @@ impl SpmmPlanner {
                 )
             }
         };
+        drop(chosen_span);
+        let t_chosen = obs.recorder.now_ns();
+
+        publish_kernel_stats(obs, "kernels.chosen", &stats);
+        obs.metrics
+            .gauge_set("planner.phase.plan_ns", (t_plan - t0) as f64);
+        obs.metrics
+            .gauge_set("planner.phase.baseline_ns", (t_baseline - t_plan) as f64);
+        obs.metrics
+            .gauge_set("planner.phase.chosen_ns", (t_chosen - t_baseline) as f64);
+
         debug_assert!(
             c.approx_eq(&baseline.c, 1e-3),
             "planner kernel disagrees with baseline output"
@@ -150,11 +202,13 @@ impl SpmmPlanner {
         let engine_energy_pj = engine
             .as_ref()
             .map_or(0.0, |e| conversion_energy_pj(e, false));
+        let speedup = baseline.stats.total_ns / stats.total_ns.max(1e-9);
+        root.counter("speedup", speedup);
         Ok(PlanReport {
             profile,
             choice,
             algorithm,
-            speedup: baseline.stats.total_ns / stats.total_ns.max(1e-9),
+            speedup,
             stats,
             baseline_stats: baseline.stats,
             engine,
@@ -169,12 +223,13 @@ impl SpmmPlanner {
         let mut g1 = Gpu::new(self.config.gpu.clone())?;
         let c_run = dcsrmm_row_per_warp(&mut g1, &dcsr, b)?;
         let mut g2 = Gpu::new(self.config.gpu.clone())?;
-        let online = bstat_tiled_dcsr_online(
+        let online = bstat_tiled_dcsr_online_obs(
             &mut g2,
             &a.to_csc(),
             b,
             self.config.tile_w,
             self.config.tile_h,
+            &ObsContext::disabled(),
         )?;
         Ok((c_run.stats.total_ns, online.run.stats.total_ns))
     }
@@ -257,6 +312,77 @@ mod tests {
         let rep = SpmmPlanner::new(cfg).execute(&a, &b).unwrap();
         assert_eq!(rep.algorithm, Algorithm::BStationaryOnline);
         assert_eq!(rep.engine.as_ref().unwrap().elements as usize, a.nnz());
+    }
+
+    #[test]
+    fn execute_with_obs_builds_nested_plan_convert_kernel_spans() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::Uniform { density: 0.02 },
+            8,
+        ));
+        let b = random_dense(128, 16, 9);
+        let mut cfg = PlannerConfig::test_small();
+        cfg.threshold = SsfThreshold {
+            threshold: -1.0,
+            accuracy: 1.0,
+        };
+        let obs = ObsContext::enabled();
+        let rep = SpmmPlanner::new(cfg)
+            .execute_with_obs(&a, &b, &obs)
+            .unwrap();
+        assert_eq!(rep.algorithm, Algorithm::BStationaryOnline);
+
+        let spans = obs.recorder.snapshot();
+        let by_name = |n: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("missing span {n}"))
+        };
+        let root = by_name("planner.execute");
+        assert_eq!(root.parent, None);
+        for child in ["planner.plan", "planner.baseline", "planner.chosen"] {
+            assert_eq!(by_name(child).parent, Some(root.id), "{child}");
+        }
+        let chosen = by_name("planner.chosen");
+        assert_eq!(by_name("engine.convert").parent, Some(chosen.id));
+        assert_eq!(by_name("kernels.launch").parent, Some(chosen.id));
+
+        // Per-phase wall clock and both kernel-stat bridges landed.
+        for g in [
+            "planner.phase.plan_ns",
+            "planner.phase.baseline_ns",
+            "planner.phase.chosen_ns",
+        ] {
+            assert!(obs.metrics.gauge(g).is_some(), "missing gauge {g}");
+        }
+        assert!(obs.metrics.counter("kernels.baseline.dram_bytes.mat_a") > 0);
+        assert!(obs.metrics.counter("kernels.chosen.dram_bytes.mat_a") > 0);
+        assert!(obs
+            .metrics
+            .gauge("engine.pipeline.prefetch_hit_rate")
+            .is_some());
+        assert!(obs.metrics.gauge("engine.comparator.occupancy").is_some());
+    }
+
+    #[test]
+    fn execute_and_execute_with_obs_agree() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            96,
+            GenKind::Uniform { density: 0.02 },
+            10,
+        ));
+        let b = random_dense(96, 8, 11);
+        let p = planner();
+        let plain = p.execute(&a, &b).unwrap();
+        let obs = ObsContext::enabled();
+        let observed = p.execute_with_obs(&a, &b, &obs).unwrap();
+        assert_eq!(plain.algorithm, observed.algorithm);
+        assert_eq!(plain.choice, observed.choice);
+        assert!((plain.speedup - observed.speedup).abs() < 1e-9);
     }
 
     #[test]

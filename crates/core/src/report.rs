@@ -3,7 +3,9 @@
 
 use crate::planner::{Algorithm, PlanReport};
 use nmt_model::ssf::Choice;
+use nmt_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A flat, serializable record of one planner execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +36,10 @@ pub struct RunRecord {
     pub engine_energy_pj: f64,
     /// Memory-stall share of the chosen kernel.
     pub memory_stall: f64,
+    /// Flattened observability metrics (`None` unless the run was executed
+    /// with an enabled [`nmt_obs::ObsContext`] and the caller embedded the
+    /// snapshot via [`RunRecord::with_metrics`]).
+    pub metrics: Option<BTreeMap<String, f64>>,
 }
 
 impl RunRecord {
@@ -65,7 +71,15 @@ impl RunRecord {
             engine_elements: r.engine.as_ref().map_or(0, |e| e.elements),
             engine_energy_pj: r.engine_energy_pj,
             memory_stall: r.stats.stall_breakdown().memory,
+            metrics: None,
         }
+    }
+
+    /// Embed a flattened metrics snapshot (counters, gauges, histogram
+    /// count/mean — see [`MetricsSnapshot::flat`]) into the record.
+    pub fn with_metrics(mut self, snapshot: &MetricsSnapshot) -> Self {
+        self.metrics = Some(snapshot.flat());
+        self
     }
 
     /// Serialize as pretty JSON.
@@ -166,6 +180,28 @@ mod tests {
         assert!((back.ssf - r.ssf).abs() <= r.ssf.abs() * 1e-12);
         assert!((back.speedup - r.speedup).abs() <= r.speedup * 1e-12);
         assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn record_embeds_and_roundtrips_metrics() {
+        let a = generators::generate(&MatrixDesc::new(
+            "m",
+            128,
+            GenKind::Uniform { density: 0.02 },
+            5,
+        ));
+        let b = random_dense(128, 16, 6);
+        let obs = nmt_obs::ObsContext::enabled();
+        let report = SpmmPlanner::new(PlannerConfig::test_small())
+            .execute_with_obs(&a, &b, &obs)
+            .expect("runs");
+        let r = RunRecord::from_report("m", a.shape().nrows, a.nnz(), &report)
+            .with_metrics(&obs.metrics.snapshot());
+        let flat = r.metrics.as_ref().expect("metrics embedded");
+        assert!(flat.contains_key("planner.phase.plan_ns"));
+        assert!(flat.contains_key("kernels.chosen.dram_bytes.mat_a"));
+        let back: RunRecord = serde_json::from_str(&r.to_json()).expect("parses");
+        assert_eq!(back.metrics, r.metrics);
     }
 
     #[test]

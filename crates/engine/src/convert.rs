@@ -41,6 +41,50 @@ pub struct ConversionStats {
     pub input_bytes: u64,
     /// Bytes of tiled-DCSR stream sent to the requesting SM over the Xbar.
     pub output_bytes: u64,
+    /// Comparator-lane slots offered across all passes (passes × lanes) —
+    /// the denominator of [`ConversionStats::comparator_occupancy`].
+    pub lane_slots: u64,
+}
+
+impl ConversionStats {
+    /// Accumulate another converter's counters into this one.
+    pub fn merge(&mut self, other: &ConversionStats) {
+        self.comparator_passes += other.comparator_passes;
+        self.elements += other.elements;
+        self.rows_emitted += other.rows_emitted;
+        self.tiles += other.tiles;
+        self.input_bytes += other.input_bytes;
+        self.output_bytes += other.output_bytes;
+        self.lane_slots += other.lane_slots;
+    }
+
+    /// Fraction of comparator-lane slots that emitted an element — how
+    /// full the tree's input registers ran (1.0 = every lane contributed
+    /// on every pass; low values mean tall, sparse columns).
+    pub fn comparator_occupancy(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.elements as f64 / self.lane_slots as f64
+        }
+    }
+}
+
+/// Bridge a conversion's [`ConversionStats`] into the observability
+/// registry under `engine.convert.*` / `engine.comparator.*`.
+pub fn publish_conversion(obs: &nmt_obs::ObsContext, stats: &ConversionStats) {
+    let m = &obs.metrics;
+    m.counter_add("engine.convert.elements", stats.elements);
+    m.counter_add("engine.convert.rows_emitted", stats.rows_emitted);
+    m.counter_add("engine.convert.tiles", stats.tiles);
+    m.counter_add("engine.convert.input_bytes", stats.input_bytes);
+    m.counter_add("engine.convert.output_bytes", stats.output_bytes);
+    m.counter_add("engine.comparator.passes", stats.comparator_passes);
+    m.counter_add("engine.comparator.lane_slots", stats.lane_slots);
+    m.gauge_set(
+        "engine.comparator.occupancy",
+        stats.comparator_occupancy(),
+    );
 }
 
 /// Stateful converter for one vertical strip of a CSC matrix.
@@ -147,6 +191,7 @@ impl<'a> StripConverter<'a> {
         let values = self.csc.values();
         loop {
             self.stats.comparator_passes += 1;
+            self.stats.lane_slots += self.frontier.len() as u64;
             let mut coords = self.lane_coords(row_end);
             if coords.is_empty() {
                 coords.push(None); // zero-lane converter: always exhausted
@@ -209,13 +254,7 @@ pub fn convert_matrix(
     for s in 0..nstrips {
         let mut conv = StripConverter::new(csc, s, tile_w);
         strips.push(conv.convert_strip(tile_h));
-        let st = conv.stats();
-        total.comparator_passes += st.comparator_passes;
-        total.elements += st.elements;
-        total.rows_emitted += st.rows_emitted;
-        total.tiles += st.tiles;
-        total.input_bytes += st.input_bytes;
-        total.output_bytes += st.output_bytes;
+        total.merge(&conv.stats());
     }
     (strips, total)
 }
@@ -293,6 +332,44 @@ mod tests {
         assert_eq!(st.comparator_passes, 5);
         // 2 pointer arrays of 3 lanes + 8 elements x 8 bytes.
         assert_eq!(st.input_bytes, 24 + 64);
+        // 5 passes x 3 lanes offered, 8 slots emitted.
+        assert_eq!(st.lane_slots, 15);
+        assert!((st.comparator_occupancy() - 8.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_all_fields() {
+        let csc = figure13_csc();
+        let mut a = StripConverter::new(&csc, 0, 3);
+        a.next_tile(0, 5);
+        let st = a.stats();
+        let mut merged = ConversionStats::default();
+        merged.merge(&st);
+        merged.merge(&st);
+        assert_eq!(merged.elements, 2 * st.elements);
+        assert_eq!(merged.comparator_passes, 2 * st.comparator_passes);
+        assert_eq!(merged.lane_slots, 2 * st.lane_slots);
+        assert_eq!(merged.input_bytes, 2 * st.input_bytes);
+        assert_eq!(merged.output_bytes, 2 * st.output_bytes);
+        assert_eq!(merged.rows_emitted, 2 * st.rows_emitted);
+        assert_eq!(merged.tiles, 2 * st.tiles);
+        // Occupancy is scale-invariant under merge of identical runs.
+        assert!((merged.comparator_occupancy() - st.comparator_occupancy()).abs() < 1e-12);
+        assert_eq!(ConversionStats::default().comparator_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn publish_conversion_bridges_to_registry() {
+        let csc = figure13_csc();
+        let (_, stats) = convert_matrix(&csc, 3, 5);
+        let obs = nmt_obs::ObsContext::disabled();
+        publish_conversion(&obs, &stats);
+        assert_eq!(obs.metrics.counter("engine.convert.elements"), 8);
+        assert_eq!(obs.metrics.counter("engine.comparator.passes"), 5);
+        assert_eq!(
+            obs.metrics.gauge("engine.comparator.occupancy"),
+            Some(stats.comparator_occupancy())
+        );
     }
 
     fn random_csr(n: usize, nnz: usize, seed: u64) -> Csr {

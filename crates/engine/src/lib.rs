@@ -33,7 +33,9 @@ pub mod timing;
 
 pub use area_energy::{conversion_energy_pj, AreaEnergyModel};
 pub use comparator::{ComparatorTree, MinResult, TreeStructure};
-pub use convert::{convert_matrix, convert_matrix_dcsc, ConversionStats, StripConverter};
-pub use pipeline::{simulate_strip, PipelineConfig, PipelineResult};
+pub use convert::{
+    convert_matrix, convert_matrix_dcsc, publish_conversion, ConversionStats, StripConverter,
+};
+pub use pipeline::{publish_pipeline, simulate_strip, PipelineConfig, PipelineResult};
 pub use placement::{imbalance, partition_loads, Layout, SwitchCost};
 pub use timing::{EngineTiming, PrefetchBuffer};

@@ -206,6 +206,7 @@ mod tests {
         let t = EngineTiming::fp32(13.6, &tree64());
         let stats = ConversionStats {
             comparator_passes: 100,
+            lane_slots: 6400,
             elements: 500,
             rows_emitted: 100,
             tiles: 1,
@@ -226,6 +227,7 @@ mod tests {
         let t = EngineTiming::fp32(13.6, &tree64());
         let stats = ConversionStats {
             comparator_passes: 1001,
+            lane_slots: 1001,
             elements: 1000,
             rows_emitted: 1000,
             tiles: 1,

@@ -18,8 +18,12 @@
 
 use crate::device::{CscDevice, DenseDevice, TiledDcsrDevice, WORD};
 use crate::KernelRun;
-use nmt_engine::{ConversionStats, StripConverter};
+use nmt_engine::{
+    publish_conversion, publish_pipeline, simulate_strip, ConversionStats, PipelineConfig,
+    StripConverter,
+};
 use nmt_formats::{Csc, DcsrTile, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
+use nmt_obs::ObsContext;
 use nmt_sim::{BlockCtx, Gpu, InstrClass, SimError, TrafficClass};
 
 /// Per-row inner loop shared by every B-stationary variant: FMA the row
@@ -362,6 +366,24 @@ pub fn bstat_tiled_dcsr_online(
     tile_w: usize,
     tile_h: usize,
 ) -> Result<OnlineRun, SimError> {
+    bstat_tiled_dcsr_online_obs(gpu, csc, b, tile_w, tile_h, &ObsContext::disabled())
+}
+
+/// [`bstat_tiled_dcsr_online`] with an observability context threaded
+/// through: the conversion pre-run and the kernel launch are wrapped in
+/// spans (`engine.convert` with one child per strip, `kernels.launch`),
+/// per-strip FLOP/element/stream-byte histograms land in the metric
+/// registry, and — when the context is enabled — each strip additionally
+/// runs the cycle-level prefetch pipeline so
+/// `engine.pipeline.prefetch_hit_rate` reflects this matrix.
+pub fn bstat_tiled_dcsr_online_obs(
+    gpu: &mut Gpu,
+    csc: &Csc,
+    b: &DenseMatrix,
+    tile_w: usize,
+    tile_h: usize,
+    obs: &ObsContext,
+) -> Result<OnlineRun, SimError> {
     let shape = csc.shape();
     check_dims(shape, b, tile_w);
     let n = shape.nrows;
@@ -375,17 +397,31 @@ pub fn bstat_tiled_dcsr_online(
     let tiles_per_strip = n.div_ceil(tile_h).max(1);
     let mut tiles: Vec<Vec<DcsrTile>> = Vec::with_capacity(nstrips);
     let mut engine = ConversionStats::default();
-    for s in 0..nstrips {
-        let mut conv = StripConverter::new(csc, s, tile_w);
-        tiles.push(conv.convert_strip(tile_h));
-        let st = conv.stats();
-        engine.comparator_passes += st.comparator_passes;
-        engine.elements += st.elements;
-        engine.rows_emitted += st.rows_emitted;
-        engine.tiles += st.tiles;
-        engine.input_bytes += st.input_bytes;
-        engine.output_bytes += st.output_bytes;
+    {
+        let mut convert_span = obs.span("engine.convert");
+        let pipe_cfg = PipelineConfig::paper_fp32(tile_w.clamp(1, 64));
+        for s in 0..nstrips {
+            let mut strip_span = obs.span("engine.convert.strip");
+            let mut conv = StripConverter::new(csc, s, tile_w);
+            tiles.push(conv.convert_strip(tile_h));
+            let st = conv.stats();
+            strip_span.counter("strip", s as f64);
+            strip_span.counter("elements", st.elements as f64);
+            strip_span.counter("output_bytes", st.output_bytes as f64);
+            let m = &obs.metrics;
+            m.histogram_record("kernels.bstat_online.strip_elements", st.elements);
+            m.histogram_record("kernels.bstat_online.strip_flops", 2 * k as u64 * st.elements);
+            m.histogram_record("kernels.bstat_online.strip_stream_bytes", st.output_bytes);
+            engine.merge(&st);
+            if obs.is_enabled() {
+                // The discrete prefetch-pipeline model is priced per strip
+                // only when someone is watching; it does not change the run.
+                publish_pipeline(obs, &simulate_strip(csc, s, &pipe_cfg));
+            }
+        }
+        convert_span.counter("strips", nstrips as f64);
     }
+    publish_conversion(obs, &engine);
 
     let mut c = DenseMatrix::zeros(n, k);
     // One block per strip, exactly the device loop of Figure 11: the block
@@ -393,6 +429,7 @@ pub fn bstat_tiled_dcsr_online(
     // GetDCSRTile per DCSR_HEIGHT rows.
     let num_blocks = nstrips;
     let shared = tile_w * k * WORD as usize;
+    let launch_span = obs.span("kernels.launch");
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         let s = ctx.block_id;
         let first_width = tiles[s].first().map_or(tile_w, |t| t.width);
@@ -450,6 +487,7 @@ pub fn bstat_tiled_dcsr_online(
             }
         }
     })?;
+    drop(launch_span);
     Ok(OnlineRun {
         run: KernelRun { c, stats },
         engine,
@@ -578,6 +616,66 @@ mod tests {
         let online = bstat_tiled_dcsr_online(&mut gpu(), &a.to_csc(), &b, 16, 16).unwrap();
         assert!(online.run.c.as_slice().iter().all(|&v| v == 0.0));
         assert_eq!(online.engine.elements, 0);
+    }
+
+    #[test]
+    fn online_obs_records_spans_and_strip_histograms() {
+        let a = matrix(128, 0.02, 11);
+        let csc = a.to_csc();
+        let b = random_dense(128, 16, 12);
+        let obs = ObsContext::enabled();
+        let online = bstat_tiled_dcsr_online_obs(&mut gpu(), &csc, &b, 16, 16, &obs).unwrap();
+        assert!(online.run.c.approx_eq(&host::spmm_csr(&a, &b), 1e-4));
+        // lane_slots flows through the merge, so occupancy is computable.
+        assert!(online.engine.lane_slots > 0);
+        assert!(online.engine.comparator_occupancy() > 0.0);
+
+        let spans = obs.recorder.snapshot();
+        let convert = spans
+            .iter()
+            .find(|s| s.name == "engine.convert")
+            .expect("engine.convert span");
+        let nstrips = 128usize.div_ceil(16);
+        let strips: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "engine.convert.strip")
+            .collect();
+        assert_eq!(strips.len(), nstrips);
+        assert!(strips.iter().all(|s| s.parent == Some(convert.id)));
+        assert!(spans.iter().any(|s| s.name == "kernels.launch"));
+
+        let snap = obs.metrics.snapshot();
+        let h = &snap.histograms["kernels.bstat_online.strip_elements"];
+        assert_eq!(h.count, nstrips as u64);
+        assert_eq!(h.sum, a.nnz() as u64);
+        let flops = &snap.histograms["kernels.bstat_online.strip_flops"];
+        assert_eq!(flops.sum, 2 * 16 * a.nnz() as u64);
+        // The enabled context priced the prefetch pipeline per strip.
+        assert!(obs.metrics.counter("engine.pipeline.cycles") > 0);
+        let rate = obs
+            .metrics
+            .gauge("engine.pipeline.prefetch_hit_rate")
+            .unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+        // ...and the conversion bridge published whole-matrix totals.
+        assert_eq!(
+            obs.metrics.counter("engine.convert.elements"),
+            a.nnz() as u64
+        );
+    }
+
+    #[test]
+    fn online_obs_disabled_context_skips_spans_but_keeps_results() {
+        let a = matrix(64, 0.05, 13);
+        let csc = a.to_csc();
+        let b = random_dense(64, 8, 14);
+        let with_obs =
+            bstat_tiled_dcsr_online_obs(&mut gpu(), &csc, &b, 16, 16, &ObsContext::disabled())
+                .unwrap();
+        let plain = bstat_tiled_dcsr_online(&mut gpu(), &csc, &b, 16, 16).unwrap();
+        assert!(with_obs.run.c.approx_eq(&plain.run.c, 1e-6));
+        assert_eq!(with_obs.engine.elements, plain.engine.elements);
+        assert_eq!(with_obs.engine.lane_slots, plain.engine.lane_slots);
     }
 }
 

@@ -30,8 +30,8 @@ pub mod merge;
 
 pub use astationary::astat_tiled;
 pub use bstationary::{
-    bstat_tiled_csr, bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online, bstat_tiled_dcsr_traversal,
-    OnlineRun, Traversal,
+    bstat_tiled_csr, bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online,
+    bstat_tiled_dcsr_online_obs, bstat_tiled_dcsr_traversal, OnlineRun, Traversal,
 };
 pub use cstationary::{
     csrmm_cusparse, csrmm_row_per_thread, csrmm_row_per_warp, dcsrmm_row_per_warp,

@@ -1,0 +1,235 @@
+//! Exporters: a JSONL event stream and Chrome trace-event JSON.
+//!
+//! The Chrome format is the `traceEvents` array of `"ph": "B"` / `"ph": "E"`
+//! pairs understood by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`; timestamps are microseconds. Spans are emitted
+//! depth-first per thread so begin/end events always nest correctly, even
+//! when adjacent spans share a timestamp.
+
+use crate::span::SpanRecord;
+use serde::{Serialize, Value};
+use std::io::{self, Write};
+
+/// Streams one JSON object per line — the classic JSONL event format.
+pub struct JsonlExporter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlExporter<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlExporter { writer }
+    }
+
+    /// Write `value` as one compact JSON line.
+    pub fn write<T: Serialize + ?Sized>(&mut self, value: &T) -> io::Result<()> {
+        let line = serde_json::to_string(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{line}")
+    }
+
+    /// Write every span as one line.
+    pub fn write_spans(&mut self, spans: &[SpanRecord]) -> io::Result<()> {
+        for s in spans {
+            self.write(s)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and hand back the writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+fn event(ph: &str, name: &str, ts_ns: u64, tid: u64, args: Option<Value>) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("cat".to_string(), Value::Str("nmt".to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        // Trace-event timestamps are in microseconds.
+        ("ts".to_string(), Value::F64(ts_ns as f64 / 1000.0)),
+        ("pid".to_string(), Value::U64(1)),
+        ("tid".to_string(), Value::U64(tid)),
+    ];
+    if let Some(args) = args {
+        fields.push(("args".to_string(), args));
+    }
+    Value::Object(fields)
+}
+
+fn push_span_events(spans: &[SpanRecord], children: &[Vec<usize>], i: usize, out: &mut Vec<Value>) {
+    let s = &spans[i];
+    out.push(event("B", &s.name, s.start_ns, s.tid, None));
+    for &c in &children[i] {
+        push_span_events(spans, children, c, out);
+    }
+    let args = if s.counters.is_empty() {
+        None
+    } else {
+        Some(Value::Object(
+            s.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Serialize::to_value(v)))
+                .collect(),
+        ))
+    };
+    out.push(event("E", &s.name, s.end_ns, s.tid, args));
+}
+
+/// Build the Chrome trace document as a JSON value tree.
+pub fn chrome_trace_value(spans: &[SpanRecord]) -> Value {
+    // Index spans, then emit each parent's subtree depth-first so B/E
+    // events pair up by construction. Spans whose parent was evicted from
+    // the ring buffer become roots.
+    let index_of = |id: u64| spans.iter().position(|s| s.id == id);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.and_then(index_of) {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        (spans[*a].start_ns, spans[*a].id).cmp(&(spans[*b].start_ns, spans[*b].id))
+    };
+    roots.sort_by(by_start);
+    for c in &mut children {
+        c.sort_by(by_start);
+    }
+    let mut events = Vec::with_capacity(spans.len() * 2);
+    for r in roots {
+        push_span_events(spans, &children, r, &mut events);
+    }
+    Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        (
+            "displayTimeUnit".to_string(),
+            Value::Str("ns".to_string()),
+        ),
+    ])
+}
+
+/// Render the Chrome trace document as a JSON string.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    serde_json::to_string(&chrome_trace_value(spans)).expect("trace serializes")
+}
+
+/// Write the Chrome trace document to `w`.
+pub fn write_chrome_trace<W: Write>(mut w: W, spans: &[SpanRecord]) -> io::Result<()> {
+    w.write_all(chrome_trace_json(spans).as_bytes())?;
+    w.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let rec = Recorder::with_capacity(16);
+        {
+            let _plan = rec.span("plan");
+            {
+                let mut convert = rec.span("convert");
+                convert.counter("elements", 8.0);
+            }
+            drop(rec.span("kernel"));
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let spans = sample_spans();
+        let mut exp = JsonlExporter::new(Vec::new());
+        exp.write_spans(&spans).unwrap();
+        let buf = exp.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), spans.len());
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("name").and_then(Value::as_str).is_some());
+            assert!(v.get("end_ns").and_then(Value::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_matched_nested_events() {
+        let spans = sample_spans();
+        let json = chrome_trace_json(&spans);
+        let doc: Value = serde_json::from_str(&json).expect("trace is valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), spans.len() * 2);
+        // Walk the stream: every E must close the innermost open B.
+        let mut stack: Vec<&str> = Vec::new();
+        for e in events {
+            let name = e["name"].as_str().unwrap();
+            match e["ph"].as_str().unwrap() {
+                "B" => stack.push(name),
+                "E" => assert_eq!(stack.pop(), Some(name), "E closes innermost B"),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(stack.is_empty(), "all B events closed");
+        // The child opens inside its parent in stream order.
+        let order: Vec<(&str, &str)> = events
+            .iter()
+            .map(|e| (e["ph"].as_str().unwrap(), e["name"].as_str().unwrap()))
+            .collect();
+        assert_eq!(order[0], ("B", "plan"));
+        assert_eq!(order[1], ("B", "convert"));
+        assert_eq!(order[2], ("E", "convert"));
+        assert_eq!(*order.last().unwrap(), ("E", "plan"));
+    }
+
+    #[test]
+    fn chrome_trace_counters_become_args() {
+        let spans = sample_spans();
+        let doc: Value = serde_json::from_str(&chrome_trace_json(&spans)).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let end_convert = events
+            .iter()
+            .find(|e| {
+                e["ph"].as_str() == Some("E") && e["name"].as_str() == Some("convert")
+            })
+            .unwrap();
+        assert_eq!(end_convert["args"]["elements"].as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn orphaned_children_become_roots() {
+        // A child whose parent id is missing (evicted) must still export.
+        let spans = vec![SpanRecord {
+            id: 7,
+            parent: Some(3),
+            name: "orphan".into(),
+            tid: 1,
+            start_ns: 10,
+            end_ns: 20,
+            counters: vec![],
+        }];
+        let doc: Value = serde_json::from_str(&chrome_trace_json(&spans)).unwrap();
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let spans = vec![SpanRecord {
+            id: 1,
+            parent: None,
+            name: "s".into(),
+            tid: 1,
+            start_ns: 1500,
+            end_ns: 2500,
+            counters: vec![],
+        }];
+        let doc: Value = serde_json::from_str(&chrome_trace_json(&spans)).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["ts"].as_f64(), Some(1.5));
+        assert_eq!(events[1]["ts"].as_f64(), Some(2.5));
+    }
+}

@@ -32,7 +32,7 @@ pub mod stats;
 pub mod trace;
 
 pub use config::GpuConfig;
-pub use machine::{BlockCtx, Buffer, Gpu, SimError};
+pub use machine::{publish_kernel_stats, BlockCtx, Buffer, Gpu, SimError};
 pub use memory::{FbPartition, MemorySubsystem, PartitionCounters};
 pub use stats::{
     InstrClass, KernelStats, StallBreakdown, TrafficBytes, TrafficClass, WarpExecStats,

@@ -243,6 +243,50 @@ fn delta_traffic(
     out
 }
 
+/// Bridge a launch's [`KernelStats`] into an observability registry under
+/// `prefix` (e.g. `kernels.chosen`): per-[`TrafficClass`] DRAM and
+/// requested bytes become counters, derived rates become gauges, and the
+/// stall taxonomy lands as `<prefix>.stall.*`.
+pub fn publish_kernel_stats(obs: &nmt_obs::ObsContext, prefix: &str, stats: &KernelStats) {
+    let m = &obs.metrics;
+    for class in TrafficClass::ALL {
+        m.counter_add(
+            &format!("{prefix}.dram_bytes.{}", class.label()),
+            stats.dram_traffic.get(class),
+        );
+        m.counter_add(
+            &format!("{prefix}.requested_bytes.{}", class.label()),
+            stats.requested_traffic.get(class),
+        );
+    }
+    for class in InstrClass::ALL {
+        m.counter_add(
+            &format!("{prefix}.warp_slots.{}", class.label()),
+            stats.warp_exec.active_for(class),
+        );
+    }
+    m.counter_add(&format!("{prefix}.warp_slots.inactive"), stats.warp_exec.inactive);
+    m.counter_add(&format!("{prefix}.l2_hits"), stats.l2_hits);
+    m.counter_add(&format!("{prefix}.l2_misses"), stats.l2_misses);
+    m.counter_add(&format!("{prefix}.atomics"), stats.atomics);
+    m.counter_add(&format!("{prefix}.flops"), stats.flops);
+    m.counter_add(&format!("{prefix}.xbar_bytes"), stats.xbar_bytes);
+    m.gauge_set(&format!("{prefix}.total_ns"), stats.total_ns);
+    m.gauge_set(&format!("{prefix}.t_compute_ns"), stats.t_compute_ns);
+    m.gauge_set(&format!("{prefix}.t_memory_ns"), stats.t_memory_ns);
+    m.gauge_set(&format!("{prefix}.t_latency_ns"), stats.t_latency_ns);
+    m.gauge_set(&format!("{prefix}.t_xbar_ns"), stats.t_xbar_ns);
+    m.gauge_set(&format!("{prefix}.l2_hit_rate"), stats.l2_hit_rate());
+    if stats.flops > 0 {
+        // bytes_per_flop is +inf on FLOP-free launches; JSON has no inf.
+        m.gauge_set(&format!("{prefix}.bytes_per_flop"), stats.bytes_per_flop());
+    }
+    let s = stats.stall_breakdown();
+    m.gauge_set(&format!("{prefix}.stall.memory"), s.memory);
+    m.gauge_set(&format!("{prefix}.stall.sm"), s.sm);
+    m.gauge_set(&format!("{prefix}.stall.other"), s.other);
+}
+
 /// Per-thread-block execution context handed to kernel bodies.
 pub struct BlockCtx<'a> {
     /// This block's index within the grid.
@@ -622,6 +666,33 @@ mod tests {
             .unwrap();
         assert_eq!(stats.warp_exec.inactive, 10 * 31);
         assert!(stats.warp_exec.inactive_fraction() > 0.9);
+    }
+
+    #[test]
+    fn publish_kernel_stats_bridges_traffic_classes() {
+        let mut g = gpu();
+        let buf = g.alloc(1 << 16, TrafficClass::MatB);
+        let stats = g
+            .launch(0, 1, |ctx| {
+                ctx.ld_global(&buf, 0, 1 << 16, false);
+                ctx.fma(32, 4);
+            })
+            .unwrap();
+        // Metrics stay live even on a disabled (span-less) context.
+        let obs = nmt_obs::ObsContext::disabled();
+        publish_kernel_stats(&obs, "sim.test", &stats);
+        assert_eq!(
+            obs.metrics.counter("sim.test.dram_bytes.mat_b"),
+            stats.dram_traffic.get(TrafficClass::MatB)
+        );
+        assert_eq!(obs.metrics.counter("sim.test.dram_bytes.mat_a"), 0);
+        assert_eq!(obs.metrics.counter("sim.test.flops"), stats.flops);
+        assert!(obs.metrics.gauge("sim.test.total_ns").unwrap() > 0.0);
+        let s = stats.stall_breakdown();
+        assert_eq!(obs.metrics.gauge("sim.test.stall.memory"), Some(s.memory));
+        // Publishing twice accumulates counters (they are monotonic).
+        publish_kernel_stats(&obs, "sim.test", &stats);
+        assert_eq!(obs.metrics.counter("sim.test.flops"), 2 * stats.flops);
     }
 
     #[test]

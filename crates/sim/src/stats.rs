@@ -20,7 +20,8 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
-    /// All classes, for iteration in reports.
+    /// All classes, for iteration in reports. Declaration order — `idx`
+    /// is derived from it, so the two cannot diverge.
     pub const ALL: [TrafficClass; 5] = [
         TrafficClass::MatA,
         TrafficClass::MatB,
@@ -29,14 +30,22 @@ impl TrafficClass {
         TrafficClass::Other,
     ];
 
-    pub(crate) fn idx(self) -> usize {
+    /// Number of classes (`ALL.len()`).
+    pub const COUNT: usize = TrafficClass::ALL.len();
+
+    /// Dotted-metric-name segment for this class (`sim.dram_bytes.mat_a`).
+    pub const fn label(self) -> &'static str {
         match self {
-            TrafficClass::MatA => 0,
-            TrafficClass::MatB => 1,
-            TrafficClass::MatC => 2,
-            TrafficClass::Engine => 3,
-            TrafficClass::Other => 4,
+            TrafficClass::MatA => "mat_a",
+            TrafficClass::MatB => "mat_b",
+            TrafficClass::MatC => "mat_c",
+            TrafficClass::Engine => "engine",
+            TrafficClass::Other => "other",
         }
+    }
+
+    pub(crate) const fn idx(self) -> usize {
+        self as usize
     }
 }
 
@@ -55,7 +64,8 @@ pub enum InstrClass {
 }
 
 impl InstrClass {
-    /// All classes, for iteration in reports.
+    /// All classes, for iteration in reports. Declaration order — `idx`
+    /// is derived from it, so the two cannot diverge.
     pub const ALL: [InstrClass; 4] = [
         InstrClass::Integer,
         InstrClass::ControlFlow,
@@ -63,20 +73,28 @@ impl InstrClass {
         InstrClass::Memory,
     ];
 
-    pub(crate) fn idx(self) -> usize {
+    /// Number of classes (`ALL.len()`).
+    pub const COUNT: usize = InstrClass::ALL.len();
+
+    /// Dotted-metric-name segment for this class.
+    pub const fn label(self) -> &'static str {
         match self {
-            InstrClass::Integer => 0,
-            InstrClass::ControlFlow => 1,
-            InstrClass::Fp => 2,
-            InstrClass::Memory => 3,
+            InstrClass::Integer => "integer",
+            InstrClass::ControlFlow => "control_flow",
+            InstrClass::Fp => "fp",
+            InstrClass::Memory => "memory",
         }
+    }
+
+    pub(crate) const fn idx(self) -> usize {
+        self as usize
     }
 }
 
 /// Per-class byte counters indexed by [`TrafficClass`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrafficBytes {
-    bytes: [u64; 5],
+    bytes: [u64; TrafficClass::COUNT],
 }
 
 impl TrafficBytes {
@@ -110,7 +128,7 @@ impl TrafficBytes {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct WarpExecStats {
     /// Active thread-slot executions per [`InstrClass`].
-    pub active: [u64; 4],
+    pub active: [u64; InstrClass::COUNT],
     /// Inactive (predicated-off / divergent) thread-slot executions.
     pub inactive: u64,
 }
@@ -253,6 +271,35 @@ impl KernelStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_idx_roundtrips_through_all() {
+        // `idx` is the declaration-order discriminant and `ALL` is the
+        // declaration-order list: ALL[c.idx()] must be c for every class,
+        // and idx must cover 0..COUNT exactly once.
+        for (i, c) in TrafficClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert_eq!(TrafficClass::ALL[c.idx()], c);
+        }
+        for (i, c) in InstrClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert_eq!(InstrClass::ALL[c.idx()], c);
+        }
+        assert_eq!(TrafficClass::COUNT, 5);
+        assert_eq!(InstrClass::COUNT, 4);
+    }
+
+    #[test]
+    fn class_labels_are_unique() {
+        let mut labels: Vec<&str> = TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), TrafficClass::COUNT);
+        let mut labels: Vec<&str> = InstrClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), InstrClass::COUNT);
+    }
 
     #[test]
     fn traffic_bytes_accumulate_and_merge() {

@@ -43,9 +43,10 @@ pub struct TraceBuffer {
 }
 
 impl TraceBuffer {
-    /// A trace window holding up to `capacity` events.
+    /// A trace window holding up to `capacity` events. A capacity of 0 is
+    /// a disabled buffer: it retains nothing and counts every recorded
+    /// event as dropped (mirroring `nmt-obs`'s zero-capacity recorder).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be positive");
         Self {
             events: Vec::with_capacity(capacity),
             capacity,
@@ -56,7 +57,9 @@ impl TraceBuffer {
 
     /// Record one event, evicting the oldest when full.
     pub fn record(&mut self, event: TraceEvent) {
-        if self.events.len() < self.capacity {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.events.len() < self.capacity {
             self.events.push(event);
         } else {
             self.events[self.head] = event;
@@ -107,10 +110,35 @@ impl TraceBuffer {
             .collect()
     }
 
+    /// The window capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Clear the window (dropped count is kept).
     pub fn clear(&mut self) {
         self.events.clear();
         self.head = 0;
+    }
+}
+
+/// Serializes as `{capacity, dropped, events: [...]}` with events in
+/// arrival order, so a buffer can stream through the JSONL exporter.
+/// (Hand-written: the ring's internal `head` split must not leak into the
+/// serialized form.)
+impl Serialize for TraceBuffer {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "capacity".to_string(),
+                serde::Value::U64(self.capacity as u64),
+            ),
+            ("dropped".to_string(), serde::Value::U64(self.dropped)),
+            (
+                "events".to_string(),
+                serde::Value::Array(self.events().iter().map(Serialize::to_value).collect()),
+            ),
+        ])
     }
 }
 
@@ -206,8 +234,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        TraceBuffer::new(0);
+    fn zero_capacity_is_a_disabled_buffer() {
+        // Capacity 0 used to panic; it now behaves as "record nothing,
+        // count everything as dropped" so tracing can be switched off
+        // without branching at every call site.
+        let mut t = TraceBuffer::new(0);
+        for i in 0..3 {
+            t.record(ev(i * 8));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), 0);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events(), vec![]);
+        t.clear(); // must not panic, dropped count is kept
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn wraparound_counts_every_eviction() {
+        // Several full revolutions of the ring: the drop count must equal
+        // records minus capacity, and the window must hold the newest
+        // `capacity` events in arrival order.
+        let cap = 4;
+        let total = 19; // 4 full wraps minus one
+        let mut t = TraceBuffer::new(cap);
+        for i in 0..total {
+            t.record(ev(i as u64));
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.dropped(), (total - cap) as u64);
+        let addrs: Vec<u64> = t.events().iter().map(|e| e.addr).collect();
+        let expected: Vec<u64> = ((total - cap) as u64..total as u64).collect();
+        assert_eq!(addrs, expected);
+    }
+
+    #[test]
+    fn exactly_full_buffer_drops_nothing() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..3 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 0);
+        t.record(ev(3));
+        assert_eq!(t.dropped(), 1, "first eviction only after capacity+1");
+    }
+
+    #[test]
+    fn serializes_in_arrival_order_through_jsonl() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..3 {
+            t.record(ev(i * 100));
+        }
+        let mut exporter = nmt_obs::JsonlExporter::new(Vec::new());
+        exporter.write(&t).unwrap();
+        let line = String::from_utf8(exporter.into_inner().unwrap()).unwrap();
+        let v: serde::Value = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(v["capacity"].as_u64(), Some(2));
+        assert_eq!(v["dropped"].as_u64(), Some(1));
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        // Arrival order, not ring order: oldest retained event first.
+        assert_eq!(events[0]["addr"].as_u64(), Some(100));
+        assert_eq!(events[1]["addr"].as_u64(), Some(200));
+        assert_eq!(events[0]["kind"].as_str(), Some("Read"));
+        assert_eq!(events[0]["class"].as_str(), Some("MatB"));
     }
 }

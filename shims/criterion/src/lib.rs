@@ -1,0 +1,239 @@
+//! Offline shim for `criterion`: enough of the API for this workspace's
+//! benches to build and run under `cargo bench`. Each benchmark is timed
+//! with `std::time::Instant` over `sample_size` samples and reported as
+//! mean/min ns per iteration — no statistical analysis, HTML reports, or
+//! regression detection.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("kernel", n)` → `kernel/n`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Things accepted as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_id(self) -> String;
+}
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Declared throughput of a benchmark, printed alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures and accumulates per-iteration timings.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also primes caches/allocations.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / mean * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>10.1} MB/s", n as f64 / mean * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} mean {mean:>12.0} ns  min {min:>12.0} ns{rate}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `routine` with shared setup `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.into_id()),
+            &b.samples_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark `routine`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into_id()),
+            &b.samples_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (prints nothing extra in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: 10,
+        };
+        routine(&mut b);
+        report(&id.into_id(), &b.samples_ns, None);
+        self
+    }
+}
+
+/// Declare a group-runner function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("add", 1), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| "x".repeat(4)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+    }
+}

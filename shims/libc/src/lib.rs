@@ -1,0 +1,17 @@
+//! Offline shim for the `libc` crate: only the symbols this workspace
+//! uses (`signal(SIGPIPE, SIG_DFL)` in the CLI entry point).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type sighandler_t = usize;
+
+/// `SIGPIPE` on Linux and most Unixes.
+pub const SIGPIPE: c_int = 13;
+/// Default signal disposition.
+pub const SIG_DFL: sighandler_t = 0;
+
+extern "C" {
+    /// POSIX `signal(2)`, linked from the platform libc.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+}

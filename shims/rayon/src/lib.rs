@@ -1,0 +1,74 @@
+//! Offline shim for `rayon`: the parallel-iterator entry points used by
+//! this workspace, implemented as sequential adapters over std iterators.
+//!
+//! `par_iter()` / `into_par_iter()` hand back the ordinary sequential
+//! iterator for the collection, so every downstream combinator
+//! (`map`, `for_each`, `collect`, …) is just [`std::iter::Iterator`].
+//! Results are identical to the parallel version because the workspace
+//! only uses order-preserving, side-effect-free mappings.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The (sequential) iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type (a reference into the collection).
+    type Item: 'data;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squared: Vec<i32> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn ranges_and_slices_work() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+        let s: &[u32] = &[5, 6];
+        let refs: Vec<&u32> = s.par_iter().collect();
+        assert_eq!(*refs[1], 6);
+    }
+}

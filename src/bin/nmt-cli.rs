@@ -6,6 +6,7 @@
 //! nmt-cli profile <file.mtx> [--tile N]
 //! nmt-cli convert <file.mtx> [--tile N]
 //! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
+//!                 [--trace-out <trace.json>] [--metrics-json <metrics.json>]
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
 //! ```
@@ -14,6 +15,7 @@ use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, Eng
 use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
 use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
 use spmm_nmt::model::ssf::SsfProfile;
+use spmm_nmt::obs::{write_chrome_trace, ObsContext};
 use spmm_nmt::planner::planner::{PlannerConfig, SpmmPlanner};
 use spmm_nmt::planner::DEFAULT_SSF_THRESHOLD;
 use std::process::ExitCode;
@@ -61,7 +63,11 @@ USAGE:
   nmt-cli profile <file.mtx> [--tile N]   SSF profile + algorithm recommendation
   nmt-cli convert <file.mtx> [--tile N]   run the CSC->tiled-DCSR engine model
   nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
-                                          simulate auto-tuned SpMM vs baseline
+                  [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+                                          simulate auto-tuned SpMM vs baseline;
+                                          --trace-out writes a Chrome/Perfetto
+                                          trace, --metrics-json the metric
+                                          registry snapshot
   nmt-cli suite   [--scale small|medium|paper]
                                           enumerate the synthetic suite
   nmt-cli help                            this message";
@@ -159,17 +165,41 @@ fn cmd_convert(rest: &[&String]) -> Result<(), String> {
 fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
     let k: usize = parse_flag(rest, "--k", 64)?;
     let tile: usize = parse_flag(rest, "--tile", 64)?;
+    let trace_out = flag(rest, "--trace-out");
+    let metrics_json = flag(rest, "--metrics-json");
     let a = load(rest)?;
     let b = random_dense(a.shape().ncols, k, 0xB);
     let mut config = PlannerConfig::paper_default();
     config.tile_w = tile;
     config.tile_h = tile;
+    // Observability is free when nobody asked for an artifact.
+    let observing = trace_out.is_some() || metrics_json.is_some();
+    let obs = if observing {
+        ObsContext::enabled()
+    } else {
+        ObsContext::disabled()
+    };
     let report = SpmmPlanner::new(config)
-        .execute(&a, &b)
+        .execute_with_obs(&a, &b, &obs)
         .map_err(|e| e.to_string())?;
+    if let Some(path) = &trace_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        write_chrome_trace(std::io::BufWriter::new(file), &obs.recorder.snapshot())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = &metrics_json {
+        let json = obs.metrics.snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     if rest.iter().any(|x| x.as_str() == "--json") {
         use spmm_nmt::planner::RunRecord;
-        let record = RunRecord::from_report("cli", a.shape().nrows, a.nnz(), &report);
+        let mut record = RunRecord::from_report("cli", a.shape().nrows, a.nnz(), &report);
+        if observing {
+            record = record.with_metrics(&obs.metrics.snapshot());
+        }
         println!("{}", record.to_json());
         return Ok(());
     }

@@ -10,6 +10,7 @@
 //! * [`engine`] — the near-memory CSC→tiled-DCSR transform engine.
 //! * [`kernels`] — SpMM kernels (all dataflows) + host references.
 //! * [`model`] — analytical traffic model, entropy, SSF heuristic.
+//! * [`obs`] — spans, metric registry, Chrome-trace/JSONL export.
 //! * [`planner`] — the auto-tuned SpMM planner (core crate `nmt`).
 
 pub use nmt as planner;
@@ -18,4 +19,5 @@ pub use nmt_formats as formats;
 pub use nmt_kernels as kernels;
 pub use nmt_matgen as matgen;
 pub use nmt_model as model;
+pub use nmt_obs as obs;
 pub use nmt_sim as sim;

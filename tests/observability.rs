@@ -1,0 +1,198 @@
+//! End-to-end observability acceptance: a planner run with an enabled
+//! [`ObsContext`] must yield (a) a Chrome trace with nested
+//! plan → convert → kernel spans and (b) a metrics snapshot carrying the
+//! engine prefetch hit rate, comparator occupancy, per-traffic-class
+//! bytes, and per-phase wall clock — both in-process and through the CLI
+//! `--trace-out` / `--metrics-json` flags.
+
+use spmm_nmt::formats::SparseMatrix;
+use spmm_nmt::matgen::{generators, random_dense, GenKind, MatrixDesc};
+use spmm_nmt::model::ssf::SsfThreshold;
+use spmm_nmt::obs::{chrome_trace_json, ObsContext};
+use spmm_nmt::planner::planner::{Algorithm, PlannerConfig, SpmmPlanner};
+use std::process::Command;
+
+fn bstationary_planner() -> SpmmPlanner {
+    let mut cfg = PlannerConfig::test_small();
+    // Force the online path: it exercises the engine, the prefetch
+    // pipeline, and the kernel launch in one run.
+    cfg.threshold = SsfThreshold {
+        threshold: -1.0,
+        accuracy: 1.0,
+    };
+    SpmmPlanner::new(cfg)
+}
+
+fn demo_inputs() -> (spmm_nmt::formats::Csr, spmm_nmt::formats::DenseMatrix) {
+    let a = generators::generate(&MatrixDesc::new(
+        "obs",
+        192,
+        GenKind::ZipfRows {
+            density: 0.02,
+            exponent: 1.1,
+        },
+        41,
+    ));
+    let b = random_dense(192, 16, 42);
+    (a, b)
+}
+
+#[test]
+fn planner_run_produces_nested_trace_and_acceptance_metrics() {
+    let (a, b) = demo_inputs();
+    let obs = ObsContext::enabled();
+    let report = bstationary_planner()
+        .execute_with_obs(&a, &b, &obs)
+        .expect("planner runs");
+    assert_eq!(report.algorithm, Algorithm::BStationaryOnline);
+
+    // --- Span hierarchy: plan/convert/kernel nested under the root. ---
+    let spans = obs.recorder.snapshot();
+    let find = |n: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == n)
+            .unwrap_or_else(|| panic!("missing span {n}"))
+    };
+    let root = find("planner.execute");
+    let plan = find("planner.plan");
+    let chosen = find("planner.chosen");
+    let convert = find("engine.convert");
+    let launch = find("kernels.launch");
+    assert_eq!(root.parent, None);
+    assert_eq!(plan.parent, Some(root.id));
+    assert_eq!(chosen.parent, Some(root.id));
+    assert_eq!(convert.parent, Some(chosen.id));
+    assert_eq!(launch.parent, Some(chosen.id));
+    for s in [plan, chosen, convert, launch] {
+        assert!(s.start_ns >= root.start_ns && s.end_ns <= root.end_ns);
+    }
+
+    // --- Chrome trace: valid JSON, every B has a matching E. ---
+    let trace: serde_json::Value =
+        serde_json::from_str(&chrome_trace_json(&spans)).expect("trace is valid JSON");
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    let mut stack: Vec<&str> = Vec::new();
+    let mut seen = Vec::new();
+    for ev in events {
+        let name = ev["name"].as_str().expect("name");
+        match ev["ph"].as_str().expect("ph") {
+            "B" => {
+                stack.push(name);
+                seen.push(name);
+            }
+            "E" => assert_eq!(stack.pop(), Some(name), "unbalanced E for {name}"),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(stack.is_empty(), "unmatched B events: {stack:?}");
+    assert!(seen.contains(&"planner.plan"));
+    assert!(seen.contains(&"engine.convert"));
+    assert!(seen.contains(&"kernels.launch"));
+
+    // --- Metrics: the acceptance keys, with sane values. ---
+    let m = &obs.metrics;
+    let hit_rate = m
+        .gauge("engine.pipeline.prefetch_hit_rate")
+        .expect("prefetch hit rate");
+    assert!((0.0..=1.0).contains(&hit_rate));
+    let occupancy = m
+        .gauge("engine.comparator.occupancy")
+        .expect("comparator occupancy");
+    assert!(occupancy > 0.0 && occupancy <= 1.0);
+    for class in ["mat_a", "mat_b", "mat_c", "engine", "other"] {
+        let key = format!("kernels.chosen.dram_bytes.{class}");
+        // Key must exist (zero is fine for classes the kernel never touches).
+        let _ = m.counter(&key);
+    }
+    assert!(m.counter("kernels.chosen.dram_bytes.mat_a") > 0);
+    assert!(m.counter("kernels.baseline.dram_bytes.mat_a") > 0);
+    for phase in ["plan", "baseline", "chosen"] {
+        let g = m
+            .gauge(&format!("planner.phase.{phase}_ns"))
+            .unwrap_or_else(|| panic!("missing planner.phase.{phase}_ns"));
+        assert!(g >= 0.0);
+    }
+    assert_eq!(
+        m.counter("engine.convert.elements"),
+        a.nnz() as u64,
+        "engine converted every nonzero exactly once"
+    );
+}
+
+#[test]
+fn cli_writes_trace_and_metrics_artifacts() {
+    let dir = std::env::temp_dir().join("nmt_obs_artifacts");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mtx = dir.join("obs_demo.mtx");
+    let (a, _) = demo_inputs();
+    spmm_nmt::formats::market::write_market_file(&mtx, &a.to_coo()).expect("write mtx");
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_nmt-cli"))
+        .args([
+            "spmm",
+            mtx.to_str().expect("utf8"),
+            "--k",
+            "16",
+            "--tile",
+            "16",
+            "--json",
+            "--trace-out",
+            trace_path.to_str().expect("utf8"),
+            "--metrics-json",
+            metrics_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace artifact loads as Chrome trace JSON with our spans.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).expect("trace file"))
+            .expect("trace parses");
+    let names: Vec<&str> = trace["traceEvents"]
+        .as_array()
+        .expect("traceEvents")
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("B"))
+        .map(|e| e["name"].as_str().expect("name"))
+        .collect();
+    assert!(names.contains(&"planner.execute"));
+    assert!(names.contains(&"planner.plan"));
+    assert!(names.iter().any(|n| n.starts_with("engine.convert")));
+    assert!(names.contains(&"kernels.launch"));
+
+    // The metrics artifact carries counters/gauges/histograms. The
+    // engine-specific gauges only exist when the planner routed the matrix
+    // to the online path, so gate those on the reported algorithm.
+    let record: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("record parses");
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).expect("metrics file"))
+            .expect("metrics parse");
+    assert!(metrics["counters"]
+        .get("kernels.chosen.dram_bytes.mat_a")
+        .and_then(|v| v.as_u64())
+        .is_some());
+    assert!(metrics["gauges"].get("planner.phase.chosen_ns").is_some());
+    if record["algorithm"].as_str() == Some("bstat-online") {
+        assert!(metrics["gauges"]
+            .get("engine.pipeline.prefetch_hit_rate")
+            .is_some());
+        assert!(metrics["gauges"]
+            .get("engine.comparator.occupancy")
+            .is_some());
+    }
+
+    // --json embedded the flattened metrics in the run record.
+    let embedded = record["metrics"]
+        .as_object()
+        .expect("metrics embedded in --json record");
+    assert!(embedded.iter().any(|(k, _)| k == "planner.phase.plan_ns"));
+}
