@@ -1,0 +1,521 @@
+//! The corpus-scale run ledger: a stable, schema-versioned record of one
+//! suite sweep (`BENCH_<scale>.json`), plus the regression gate CI runs
+//! against the committed baseline.
+//!
+//! A ledger holds one [`LedgerRow`] per matrix (SSF, chosen vs oracle
+//! dataflow, times, per-`TrafficClass`-label DRAM bytes, model error)
+//! and a [`CorpusSummary`] (geomean speedup, SSF-vs-oracle accuracy,
+//! per-class byte totals, latency percentiles from the log₂ histogram).
+//! Everything in it comes from the deterministic simulator, so sweeping
+//! the same suite at the same seed twice produces **byte-identical**
+//! files — which is what makes [`Ledger::gate`] a meaningful diff.
+
+use crate::{experiment_gpu, experiment_k, experiment_tile, geomean, EXPERIMENT_SEED};
+use nmt::planner::{PlannerConfig, SpmmPlanner, DEFAULT_SSF_THRESHOLD};
+use nmt::DecisionAudit;
+use nmt_formats::SparseMatrix;
+use nmt_matgen::{random_dense, SuiteScale, SuiteSpec};
+use nmt_model::ssf::Choice;
+use nmt_obs::{MetricRegistry, ObsContext};
+use nmt_sim::SimError;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version of the `BENCH_*.json` schema. Bump on any change to the field
+/// set or semantics; the gate refuses to compare across versions.
+pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// One matrix's row in the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRow {
+    /// Suite matrix name.
+    pub matrix: String,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// SSF value.
+    pub ssf: f64,
+    /// Normalized entropy input.
+    pub h_norm: f64,
+    /// Heuristic pick (`c-stationary` / `b-stationary`).
+    pub chosen: String,
+    /// Measured-best pick.
+    pub oracle: String,
+    /// Whether the heuristic missed.
+    pub mispick: bool,
+    /// `chosen_time / oracle_time` (1.0 when correct).
+    pub mispick_cost: f64,
+    /// Baseline time in ns.
+    pub baseline_ns: f64,
+    /// C-stationary candidate time in ns.
+    pub cstat_ns: f64,
+    /// B-stationary (online) candidate time in ns.
+    pub bstat_ns: f64,
+    /// Heuristic-pick speedup over the baseline.
+    pub speedup: f64,
+    /// Oracle-pick speedup over the baseline.
+    pub oracle_speedup: f64,
+    /// Chosen kernel's DRAM bytes per traffic-class label.
+    pub dram_bytes: BTreeMap<String, u64>,
+    /// Chosen kernel's mean |model relative error| over A/B/C.
+    pub model_abs_rel_err: f64,
+}
+
+impl LedgerRow {
+    /// Flatten a [`DecisionAudit`] into a ledger row.
+    pub fn from_audit(a: &DecisionAudit) -> Self {
+        let label = |c: Choice| match c {
+            Choice::BStationary => "b-stationary".to_string(),
+            Choice::CStationary => "c-stationary".to_string(),
+        };
+        let chosen = a.chosen_audit();
+        Self {
+            matrix: a.matrix.clone(),
+            n: a.nrows,
+            nnz: a.nnz,
+            ssf: a.profile.ssf,
+            h_norm: a.profile.h_norm,
+            chosen: label(a.chosen),
+            oracle: label(a.oracle),
+            mispick: a.mispick,
+            mispick_cost: a.mispick_cost,
+            baseline_ns: a.baseline_ns,
+            cstat_ns: a.cstationary.time_ns,
+            bstat_ns: a.bstationary.time_ns,
+            speedup: chosen.speedup,
+            oracle_speedup: a.oracle_speedup(),
+            dram_bytes: chosen.dram_bytes.clone(),
+            model_abs_rel_err: chosen.mean_abs_rel_err,
+        }
+    }
+}
+
+/// Interpolated latency percentiles (ns) from the log₂ histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Corpus-level aggregates over a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSummary {
+    /// Number of matrices swept.
+    pub matrices: usize,
+    /// Geometric-mean speedup of the SSF-directed hybrid (the paper's
+    /// headline statistic — 2.26× at paper scale).
+    pub geomean_speedup: f64,
+    /// Geometric-mean speedup of the oracle (paper: 2.30×).
+    pub oracle_geomean_speedup: f64,
+    /// Fraction of matrices where the heuristic matched the oracle.
+    pub ssf_accuracy: f64,
+    /// Number of mispicks.
+    pub mispicks: usize,
+    /// Mean `chosen/oracle` time ratio over mispicked matrices only
+    /// (1.0 when there were none).
+    pub mean_mispick_cost: f64,
+    /// Fraction of matrices faster than the baseline.
+    pub improved_fraction: f64,
+    /// Total chosen-kernel DRAM bytes per traffic-class label.
+    pub traffic_bytes: BTreeMap<String, u64>,
+    /// Chosen-kernel latency percentiles across the corpus.
+    pub chosen_latency_ns: LatencyPercentiles,
+    /// Mean |model relative error| of the chosen kernels.
+    pub model_mean_abs_rel_err: f64,
+}
+
+/// A full suite sweep: rows plus summary, versioned for diffing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    /// Schema version ([`LEDGER_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Suite scale (`small` / `medium` / `paper`).
+    pub scale: String,
+    /// Suite base seed.
+    pub seed: u64,
+    /// Dense-operand width.
+    pub k: usize,
+    /// Strip/tile edge.
+    pub tile: usize,
+    /// Per-matrix rows, in suite order.
+    pub rows: Vec<LedgerRow>,
+    /// Corpus aggregates.
+    pub summary: CorpusSummary,
+}
+
+/// Tolerances for [`Ledger::gate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTolerance {
+    /// Allowed fractional drop in geomean speedup (0.05 = 5 %).
+    pub speedup_frac: f64,
+    /// Allowed absolute drop in SSF accuracy (0.05 = 5 points).
+    pub accuracy_abs: f64,
+}
+
+impl Default for GateTolerance {
+    fn default() -> Self {
+        Self {
+            speedup_frac: 0.05,
+            accuracy_abs: 0.05,
+        }
+    }
+}
+
+/// The ledger's canonical filename for a scale (`BENCH_small.json`).
+pub fn ledger_filename(scale: SuiteScale) -> String {
+    format!("BENCH_{}.json", scale_label(scale))
+}
+
+/// Lower-case label for a scale.
+pub fn scale_label(scale: SuiteScale) -> &'static str {
+    match scale {
+        SuiteScale::Small => "small",
+        SuiteScale::Medium => "medium",
+        SuiteScale::Paper => "paper",
+    }
+}
+
+impl Ledger {
+    /// Aggregate a set of audits (in suite order) into a ledger.
+    pub fn from_audits(
+        scale: SuiteScale,
+        seed: u64,
+        k: usize,
+        tile: usize,
+        audits: &[DecisionAudit],
+    ) -> Self {
+        let rows: Vec<LedgerRow> = audits.iter().map(LedgerRow::from_audit).collect();
+        let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+        let oracle_speedups: Vec<f64> = rows.iter().map(|r| r.oracle_speedup).collect();
+        let mispicks = rows.iter().filter(|r| r.mispick).count();
+        let mean_mispick_cost = if mispicks == 0 {
+            1.0
+        } else {
+            rows.iter()
+                .filter(|r| r.mispick)
+                .map(|r| r.mispick_cost)
+                .sum::<f64>()
+                / mispicks as f64
+        };
+        let mut traffic_bytes: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &rows {
+            for (class, &bytes) in &r.dram_bytes {
+                *traffic_bytes.entry(class.clone()).or_insert(0) += bytes;
+            }
+        }
+        // Latency percentiles via the obs log₂ histogram, so the ledger
+        // exercises the same estimator the registry exports.
+        let reg = MetricRegistry::new();
+        for r in &rows {
+            reg.histogram_record("ledger.chosen_ns", r.chosen_ns_rounded());
+        }
+        let snap = reg.snapshot();
+        let hist = &snap.histograms["ledger.chosen_ns"];
+        let summary = CorpusSummary {
+            matrices: rows.len(),
+            geomean_speedup: geomean(&speedups),
+            oracle_geomean_speedup: geomean(&oracle_speedups),
+            ssf_accuracy: if rows.is_empty() {
+                0.0
+            } else {
+                (rows.len() - mispicks) as f64 / rows.len() as f64
+            },
+            mispicks,
+            mean_mispick_cost,
+            improved_fraction: if rows.is_empty() {
+                0.0
+            } else {
+                rows.iter().filter(|r| r.speedup > 1.0).count() as f64 / rows.len() as f64
+            },
+            traffic_bytes,
+            chosen_latency_ns: LatencyPercentiles {
+                p50: hist.p50(),
+                p95: hist.p95(),
+                p99: hist.p99(),
+            },
+            model_mean_abs_rel_err: if rows.is_empty() {
+                0.0
+            } else {
+                rows.iter().map(|r| r.model_abs_rel_err).sum::<f64>() / rows.len() as f64
+            },
+        };
+        Self {
+            schema_version: LEDGER_SCHEMA_VERSION,
+            scale: scale_label(scale).to_string(),
+            seed,
+            k,
+            tile,
+            rows,
+            summary,
+        }
+    }
+
+    /// Serialize as pretty JSON (the `BENCH_*.json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ledger serializes")
+    }
+
+    /// Parse a ledger back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("malformed ledger: {e:?}"))
+    }
+
+    /// Compact one-line summary for logs.
+    pub fn render_summary(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{} matrices @ {} | geomean {:.3}x (oracle {:.3}x) | SSF accuracy {:.1}% \
+             ({} mispicks, mean cost {:.2}x) | chosen p50/p95/p99 = {:.0}/{:.0}/{:.0} ns \
+             | model |rel err| {:.1}%",
+            s.matrices,
+            self.scale,
+            s.geomean_speedup,
+            s.oracle_geomean_speedup,
+            s.ssf_accuracy * 100.0,
+            s.mispicks,
+            s.mean_mispick_cost,
+            s.chosen_latency_ns.p50,
+            s.chosen_latency_ns.p95,
+            s.chosen_latency_ns.p99,
+            s.model_mean_abs_rel_err * 100.0
+        )
+    }
+
+    /// Diff this ledger (the fresh run) against a committed `baseline`.
+    ///
+    /// Returns `Ok(notes)` when the run is no worse than the baseline
+    /// within `tol`, `Err(regressions)` otherwise. Checks, in order:
+    /// schema version and suite identity (scale/seed/k/tile/row count)
+    /// must match exactly — a mismatch means the baseline must be
+    /// consciously refreshed, not silently accepted — then geomean
+    /// speedup may not drop more than `tol.speedup_frac` relatively and
+    /// SSF accuracy not more than `tol.accuracy_abs` absolutely.
+    pub fn gate(&self, baseline: &Ledger, tol: GateTolerance) -> Result<Vec<String>, Vec<String>> {
+        let mut regressions = Vec::new();
+        let mut notes = Vec::new();
+        if self.schema_version != baseline.schema_version {
+            regressions.push(format!(
+                "schema version changed: baseline v{} vs run v{} — refresh the baseline",
+                baseline.schema_version, self.schema_version
+            ));
+            return Err(regressions);
+        }
+        for (what, run, base) in [
+            ("scale", self.scale.clone(), baseline.scale.clone()),
+            ("seed", self.seed.to_string(), baseline.seed.to_string()),
+            ("k", self.k.to_string(), baseline.k.to_string()),
+            ("tile", self.tile.to_string(), baseline.tile.to_string()),
+            (
+                "matrix count",
+                self.rows.len().to_string(),
+                baseline.rows.len().to_string(),
+            ),
+        ] {
+            if run != base {
+                regressions.push(format!(
+                    "suite identity changed: {what} was {base}, now {run} — refresh the baseline"
+                ));
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(regressions);
+        }
+
+        let run = &self.summary;
+        let base = &baseline.summary;
+        let speedup_floor = base.geomean_speedup * (1.0 - tol.speedup_frac);
+        if run.geomean_speedup < speedup_floor {
+            regressions.push(format!(
+                "geomean speedup regressed: {:.4}x < floor {:.4}x (baseline {:.4}x − {:.0}%)",
+                run.geomean_speedup,
+                speedup_floor,
+                base.geomean_speedup,
+                tol.speedup_frac * 100.0
+            ));
+        } else {
+            notes.push(format!(
+                "geomean speedup {:.4}x vs baseline {:.4}x (floor {:.4}x) — ok",
+                run.geomean_speedup, base.geomean_speedup, speedup_floor
+            ));
+        }
+        let accuracy_floor = base.ssf_accuracy - tol.accuracy_abs;
+        if run.ssf_accuracy < accuracy_floor {
+            regressions.push(format!(
+                "SSF accuracy regressed: {:.1}% < floor {:.1}% (baseline {:.1}% − {:.0} pts)",
+                run.ssf_accuracy * 100.0,
+                accuracy_floor * 100.0,
+                base.ssf_accuracy * 100.0,
+                tol.accuracy_abs * 100.0
+            ));
+        } else {
+            notes.push(format!(
+                "SSF accuracy {:.1}% vs baseline {:.1}% (floor {:.1}%) — ok",
+                run.ssf_accuracy * 100.0,
+                base.ssf_accuracy * 100.0,
+                accuracy_floor * 100.0
+            ));
+        }
+        if regressions.is_empty() {
+            Ok(notes)
+        } else {
+            Err(regressions)
+        }
+    }
+}
+
+impl LedgerRow {
+    /// Chosen-kernel time rounded to whole ns for histogram recording.
+    fn chosen_ns_rounded(&self) -> u64 {
+        let t = match self.chosen.as_str() {
+            "b-stationary" => self.bstat_ns,
+            _ => self.cstat_ns,
+        };
+        t.round().max(0.0) as u64
+    }
+}
+
+/// Sweep the synthetic suite at `scale` through the audited planner and
+/// aggregate the ledger. Deterministic: the suite, the dense operands,
+/// and the simulator all derive from [`EXPERIMENT_SEED`].
+pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
+    let tile = experiment_tile(scale);
+    let k = experiment_k(scale);
+    let config = PlannerConfig {
+        gpu: experiment_gpu(scale),
+        tile_w: tile,
+        tile_h: tile,
+        threshold: DEFAULT_SSF_THRESHOLD,
+    };
+    let suite = SuiteSpec::new(scale, EXPERIMENT_SEED).build();
+    let audits: Result<Vec<DecisionAudit>, SimError> = suite
+        .par_iter()
+        .map(|(desc, a)| {
+            let planner = SpmmPlanner::new(config.clone());
+            let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
+            planner.explain(&desc.name, a, &b, &ObsContext::disabled())
+        })
+        .collect();
+    Ok(Ledger::from_audits(
+        scale,
+        EXPERIMENT_SEED,
+        k,
+        tile,
+        &audits?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep over the quick suite so tests stay fast; mirrors
+    /// [`sweep_ledger`] with the test-small planner.
+    fn quick_ledger(seed: u64) -> Ledger {
+        let config = PlannerConfig::test_small();
+        let tile = config.tile_w;
+        let suite = SuiteSpec::quick(seed).build();
+        let audits: Vec<DecisionAudit> = suite
+            .iter()
+            .map(|(desc, a)| {
+                let b = random_dense(a.shape().ncols, 8, desc.seed ^ 0x16);
+                SpmmPlanner::new(config.clone())
+                    .explain(&desc.name, a, &b, &ObsContext::disabled())
+                    .expect("audit runs")
+            })
+            .collect();
+        Ledger::from_audits(SuiteScale::Small, seed, 8, tile, &audits)
+    }
+
+    #[test]
+    fn ledger_is_byte_identical_across_runs() {
+        let a = quick_ledger(3);
+        let b = quick_ledger(3);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json(), "same seed must give same bytes");
+    }
+
+    #[test]
+    fn ledger_roundtrips_and_aggregates() {
+        let ledger = quick_ledger(5);
+        assert_eq!(ledger.schema_version, LEDGER_SCHEMA_VERSION);
+        assert!(!ledger.rows.is_empty());
+        let s = &ledger.summary;
+        assert_eq!(s.matrices, ledger.rows.len());
+        assert!(s.geomean_speedup > 0.0);
+        // The oracle bounds the hybrid from above by construction.
+        assert!(s.oracle_geomean_speedup >= s.geomean_speedup - 1e-12);
+        assert!((0.0..=1.0).contains(&s.ssf_accuracy));
+        assert_eq!(
+            s.mispicks,
+            ledger.rows.iter().filter(|r| r.mispick).count()
+        );
+        assert!(s.traffic_bytes.values().sum::<u64>() > 0);
+        assert!(s.chosen_latency_ns.p50 <= s.chosen_latency_ns.p95);
+        assert!(s.chosen_latency_ns.p95 <= s.chosen_latency_ns.p99);
+        let back = Ledger::from_json(&ledger.to_json()).expect("parses");
+        assert_eq!(back, ledger);
+        assert!(ledger.render_summary().contains("matrices"));
+    }
+
+    #[test]
+    fn gate_passes_identical_and_catches_regressions() {
+        let ledger = quick_ledger(7);
+        // Identical run passes.
+        let notes = ledger.gate(&ledger, GateTolerance::default()).expect("ok");
+        assert_eq!(notes.len(), 2);
+
+        // Injected speedup regression beyond tolerance fails.
+        let mut slow = ledger.clone();
+        slow.summary.geomean_speedup *= 0.80;
+        let errs = slow
+            .gate(&ledger, GateTolerance::default())
+            .expect_err("regression must fire");
+        assert!(errs.iter().any(|e| e.contains("geomean speedup regressed")));
+
+        // Injected accuracy regression fails.
+        let mut inaccurate = ledger.clone();
+        inaccurate.summary.ssf_accuracy = (ledger.summary.ssf_accuracy - 0.2).max(0.0);
+        let errs = inaccurate
+            .gate(&ledger, GateTolerance::default())
+            .expect_err("accuracy gate must fire");
+        assert!(errs.iter().any(|e| e.contains("SSF accuracy regressed")));
+
+        // Within-tolerance wobble passes.
+        let mut wobble = ledger.clone();
+        wobble.summary.geomean_speedup *= 0.98;
+        assert!(wobble.gate(&ledger, GateTolerance::default()).is_ok());
+    }
+
+    #[test]
+    fn gate_rejects_schema_and_identity_mismatch() {
+        let ledger = quick_ledger(9);
+        let mut other_schema = ledger.clone();
+        other_schema.schema_version += 1;
+        let errs = other_schema
+            .gate(&ledger, GateTolerance::default())
+            .expect_err("schema mismatch");
+        assert!(errs[0].contains("schema version"));
+
+        let mut other_suite = ledger.clone();
+        other_suite.seed ^= 1;
+        other_suite.rows.pop();
+        let errs = other_suite
+            .gate(&ledger, GateTolerance::default())
+            .expect_err("identity mismatch");
+        assert!(errs.iter().any(|e| e.contains("seed")));
+        assert!(errs.iter().any(|e| e.contains("matrix count")));
+    }
+
+    #[test]
+    fn filenames_follow_scale() {
+        assert_eq!(ledger_filename(SuiteScale::Small), "BENCH_small.json");
+        assert_eq!(ledger_filename(SuiteScale::Medium), "BENCH_medium.json");
+        assert_eq!(ledger_filename(SuiteScale::Paper), "BENCH_paper.json");
+    }
+}

@@ -6,18 +6,51 @@ use nmt_formats::Csr;
 use nmt_matgen::{MatrixDesc, SuiteScale, SuiteSpec};
 use rayon::prelude::*;
 
+pub mod ledger;
+
+pub use ledger::{
+    ledger_filename, scale_label, sweep_ledger, CorpusSummary, GateTolerance, LatencyPercentiles,
+    Ledger, LedgerRow, LEDGER_SCHEMA_VERSION,
+};
+
 /// The seed shared by every experiment so figures are reproducible.
 pub const EXPERIMENT_SEED: u64 = 0x5C19;
 
+/// Parse a scale name (`small` / `medium` / `paper`), rejecting anything
+/// else so a typo cannot silently demote a paper-scale run.
+pub fn parse_scale(name: &str) -> Result<SuiteScale, String> {
+    match name {
+        "small" => Ok(SuiteScale::Small),
+        "medium" => Ok(SuiteScale::Medium),
+        "paper" => Ok(SuiteScale::Paper),
+        other => Err(format!(
+            "unrecognized scale '{other}' (expected small|medium|paper)"
+        )),
+    }
+}
+
+/// Resolve the scale from an optional `NMT_SCALE`-style value: unset means
+/// the fast default, but a *set-and-wrong* value is an error.
+pub fn scale_from_env(value: Option<&str>) -> Result<SuiteScale, String> {
+    match value {
+        None => Ok(SuiteScale::Small),
+        Some(v) => parse_scale(v),
+    }
+}
+
 /// Experiment scale, overridable with `NMT_SCALE=small|medium|paper` so CI
 /// can run the fast variant while full reproductions use the paper's
-/// dimension filter.
+/// dimension filter. An unrecognized value aborts rather than silently
+/// falling back to Small — a mis-spelled `NMT_SCALE=papr` would otherwise
+/// publish small-scale numbers as a paper run.
 pub fn experiment_scale() -> SuiteScale {
-    match std::env::var("NMT_SCALE").as_deref() {
-        Ok("paper") => SuiteScale::Paper,
-        Ok("medium") => SuiteScale::Medium,
-        Ok("small") => SuiteScale::Small,
-        _ => SuiteScale::Small,
+    let value = std::env::var("NMT_SCALE").ok();
+    match scale_from_env(value.as_deref()) {
+        Ok(scale) => scale,
+        Err(e) => {
+            eprintln!("error: NMT_SCALE: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -171,6 +204,27 @@ mod tests {
         }
         assert_eq!(experiment_tile(SuiteScale::Paper), 64);
         assert_eq!(experiment_k(SuiteScale::Small), 64);
+    }
+
+    #[test]
+    fn scale_parsing_accepts_known_names() {
+        assert_eq!(parse_scale("small"), Ok(SuiteScale::Small));
+        assert_eq!(parse_scale("medium"), Ok(SuiteScale::Medium));
+        assert_eq!(parse_scale("paper"), Ok(SuiteScale::Paper));
+        assert_eq!(scale_from_env(None), Ok(SuiteScale::Small));
+        assert_eq!(scale_from_env(Some("paper")), Ok(SuiteScale::Paper));
+    }
+
+    #[test]
+    fn scale_parsing_rejects_unknown_names() {
+        // The old behavior silently fell back to Small; now a set-but-wrong
+        // value is an error the caller must surface.
+        for bad in ["papr", "SMALL", "large", ""] {
+            let err = parse_scale(bad).expect_err("must reject");
+            assert!(err.contains(bad), "error should echo the bad value");
+            assert!(err.contains("small|medium|paper"));
+            assert!(scale_from_env(Some(bad)).is_err());
+        }
     }
 
     #[test]

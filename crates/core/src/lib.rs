@@ -10,6 +10,9 @@
 //! energy.
 //!
 //! * [`planner`] — profile → choose → execute → [`planner::PlanReport`].
+//! * [`audit`] — the decision audit behind `nmt-cli audit`: SSF inputs,
+//!   chosen-vs-oracle dataflow, mispick cost, and Table-1
+//!   model-vs-measured traffic validation per matrix.
 //! * [`api`] — the `GetDCSRTile` request queue of Figure 11: per-FB-
 //!   partition FIFOs feeding the conversion units.
 //! * [`multi_gpu`] — the §6.2 large-scale streaming model.
@@ -17,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod audit;
 pub mod multi_gpu;
 pub mod planner;
 pub mod report;
 
 pub use api::{ConversionQueue, GetDcsrTileRequest, TimedTileResponse};
+pub use audit::{DecisionAudit, KernelAudit, TrafficValidation};
 pub use multi_gpu::{LargeSpmmProblem, MultiGpuConfig, MultiGpuReport};
 pub use planner::{Algorithm, PlanReport, PlannerConfig, SpmmPlanner, DEFAULT_SSF_THRESHOLD};
 pub use report::{RunRecord, SuiteReport};

@@ -1,9 +1,11 @@
 //! The SSF-directed SpMM planner.
 
+use crate::audit::{DecisionAudit, KernelAudit};
 use nmt_engine::{conversion_energy_pj, ConversionStats};
 use nmt_formats::{Csr, Dcsr, DenseMatrix, SparseMatrix};
 use nmt_kernels::{bstat_tiled_dcsr_online_obs, csrmm_cusparse, dcsrmm_row_per_warp};
 use nmt_model::ssf::{classify, Choice, SsfProfile, SsfThreshold};
+use nmt_model::{Dataflow, TrafficModel};
 use nmt_obs::ObsContext;
 use nmt_sim::{publish_kernel_stats, Gpu, GpuConfig, KernelStats, SimError};
 use serde::{Deserialize, Serialize};
@@ -216,6 +218,103 @@ impl SpmmPlanner {
         })
     }
 
+    /// Audit one matrix end to end: profile it, run the baseline **and
+    /// both** candidate kernels on fresh cold-cache GPUs, compare the
+    /// heuristic's pick against the measured oracle, and cross-check each
+    /// kernel's per-class DRAM bytes against the Table 1 analytical model
+    /// ([`TrafficModel::estimate_with_ncols`] for C-stationary,
+    /// [`TrafficModel::estimate_online_bstationary`] for the engine path).
+    ///
+    /// The audit is published into `obs` ([`DecisionAudit::publish`]):
+    /// model relative-error gauges/histograms and mispick counters, which
+    /// accumulate across calls sharing one context. Everything in the
+    /// returned [`DecisionAudit`] is simulated, so two calls with the same
+    /// inputs produce identical audits.
+    pub fn explain(
+        &self,
+        name: &str,
+        a: &Csr,
+        b: &DenseMatrix,
+        obs: &ObsContext,
+    ) -> Result<DecisionAudit, SimError> {
+        let mut root = obs.span("planner.explain");
+        root.counter("nnz", a.nnz() as f64);
+        let (profile, chosen) = self.plan(a);
+
+        let baseline = {
+            let _s = obs.span("audit.baseline");
+            let mut gpu = Gpu::new(self.config.gpu.clone())?;
+            csrmm_cusparse(&mut gpu, a, b)?
+        };
+        let c_run = {
+            let _s = obs.span("audit.cstationary");
+            let mut gpu = Gpu::new(self.config.gpu.clone())?;
+            dcsrmm_row_per_warp(&mut gpu, &Dcsr::from_csr(a), b)?
+        };
+        let b_run = {
+            let _s = obs.span("audit.bstationary");
+            let mut gpu = Gpu::new(self.config.gpu.clone())?;
+            bstat_tiled_dcsr_online_obs(
+                &mut gpu,
+                &a.to_csc(),
+                b,
+                self.config.tile_w,
+                self.config.tile_h,
+                obs,
+            )?
+        };
+
+        let model = TrafficModel::measure(a, self.config.tile_w);
+        let k = b.ncols() as f64;
+        let baseline_ns = baseline.stats.total_ns;
+        let cstationary = KernelAudit::new(
+            "c-stationary",
+            baseline_ns,
+            &c_run.stats,
+            &model.estimate_with_ncols(Dataflow::CStationary, k),
+        );
+        let bstationary = KernelAudit::new(
+            "b-stationary-online",
+            baseline_ns,
+            &b_run.run.stats,
+            &model.estimate_online_bstationary(k),
+        );
+
+        // Oracle: measured winner; ties prefer C-stationary (no atomics).
+        let oracle = if b_run.run.stats.total_ns < c_run.stats.total_ns {
+            Choice::BStationary
+        } else {
+            Choice::CStationary
+        };
+        let time_of = |c: Choice| match c {
+            Choice::CStationary => c_run.stats.total_ns,
+            Choice::BStationary => b_run.run.stats.total_ns,
+        };
+        let mispick = chosen != oracle;
+        let mispick_cost = time_of(chosen) / time_of(oracle).max(1e-9);
+        root.counter("mispick", mispick as u64 as f64);
+
+        let audit = DecisionAudit {
+            matrix: name.to_string(),
+            nrows: a.shape().nrows,
+            ncols: a.shape().ncols,
+            nnz: a.nnz(),
+            k: b.ncols(),
+            tile: self.config.tile_w,
+            profile,
+            threshold: self.config.threshold.threshold,
+            chosen,
+            oracle,
+            mispick,
+            mispick_cost,
+            baseline_ns,
+            cstationary,
+            bstationary,
+        };
+        audit.publish(obs);
+        Ok(audit)
+    }
+
     /// Run *both* algorithms and report `(t_cstationary, t_bstationary)` —
     /// the measurement behind Figure 4's y-axis and threshold learning.
     pub fn profile_both(&self, a: &Csr, b: &DenseMatrix) -> Result<(f64, f64), SimError> {
@@ -383,6 +482,77 @@ mod tests {
         assert_eq!(plain.algorithm, observed.algorithm);
         assert_eq!(plain.choice, observed.choice);
         assert!((plain.speedup - observed.speedup).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_is_deterministic_and_consistent_with_execute() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::ZipfRows {
+                density: 0.02,
+                exponent: 1.2,
+            },
+            12,
+        ));
+        let b = random_dense(128, 16, 13);
+        let p = planner();
+        let audit1 = p.explain("t", &a, &b, &ObsContext::disabled()).unwrap();
+        let audit2 = p.explain("t", &a, &b, &ObsContext::disabled()).unwrap();
+        assert_eq!(audit1, audit2, "explain must be reproducible");
+        assert_eq!(audit1.to_json(), audit2.to_json());
+
+        // The audit's chosen side matches what execute actually runs.
+        let report = p.execute(&a, &b).unwrap();
+        assert_eq!(audit1.chosen, report.choice);
+        assert!((audit1.baseline_ns - report.baseline_stats.total_ns).abs() < 1e-9);
+        assert!((audit1.chosen_audit().time_ns - report.stats.total_ns).abs() < 1e-9);
+        assert!((audit1.chosen_speedup() - report.speedup).abs() < 1e-9);
+
+        // Oracle bookkeeping is internally consistent.
+        let faster = audit1
+            .cstationary
+            .time_ns
+            .min(audit1.bstationary.time_ns);
+        assert!((audit1.oracle_audit().time_ns - faster).abs() < 1e-9);
+        assert_eq!(audit1.mispick, audit1.chosen != audit1.oracle);
+        assert!(audit1.mispick_cost >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn explain_publishes_model_validation_metrics() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::Uniform { density: 0.02 },
+            14,
+        ));
+        let b = random_dense(128, 16, 15);
+        let obs = ObsContext::enabled();
+        let audit = planner().explain("t", &a, &b, &obs).unwrap();
+        for df in ["c_stationary", "b_stationary_online"] {
+            for class in ["mat_a", "mat_b", "mat_c"] {
+                let name = format!("audit.model.{df}.rel_err.{class}");
+                assert!(obs.metrics.gauge(&name).is_some(), "missing {name}");
+            }
+            assert!(obs
+                .metrics
+                .gauge(&format!("audit.model.{df}.mean_abs_rel_err"))
+                .is_some());
+        }
+        assert_eq!(obs.metrics.counter("audit.decisions"), 1);
+        assert_eq!(
+            obs.metrics.counter("audit.mispicks"),
+            audit.mispick as u64
+        );
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.histograms["audit.model.abs_rel_err_pct"].count, 6);
+        // Both kernels produced per-class DRAM byte maps and validations.
+        for side in [&audit.cstationary, &audit.bstationary] {
+            assert_eq!(side.validation.len(), 3);
+            assert!(side.dram_bytes["mat_a"] > 0);
+            assert!(side.time_ns > 0.0);
+        }
     }
 
     #[test]

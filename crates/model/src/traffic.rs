@@ -123,33 +123,61 @@ impl TrafficModel {
     /// Evaluate the Table 1 row for `dataflow`. Entries expressed in
     /// elements in the paper are converted to bytes via `elem_bytes`.
     pub fn estimate(&self, dataflow: Dataflow) -> TrafficEstimate {
+        self.estimate_with_ncols(dataflow, self.n)
+    }
+
+    /// [`estimate`](Self::estimate) generalized to a dense operand with
+    /// `ncols` columns instead of the paper's square `n × n` B/C. Every
+    /// Table 1 term that scales with the dense width (`× n` in the paper)
+    /// scales with `ncols` here; the A terms are unchanged. This is what
+    /// lets the analytical model be validated against simulator runs,
+    /// which use a fixed K ≪ n per experiment scale.
+    pub fn estimate_with_ncols(&self, dataflow: Dataflow, ncols: f64) -> TrafficEstimate {
         let eb = self.elem_bytes;
         // Partial-contribution output traffic shared by A- and B-stationary:
-        // n_nnzrow_strip × (n/k) × n × atomic_factor (Table 1, C column).
-        let partial_c = self.nnzrow_strip * self.strips() * self.n * self.atomic_factor * eb;
+        // n_nnzrow_strip × (n/k) × ncols × atomic_factor (Table 1, C column).
+        let partial_c = self.nnzrow_strip * self.strips() * ncols * self.atomic_factor * eb;
         match dataflow {
             Dataflow::AStationary => TrafficEstimate {
                 // Single fetch of A.
                 a_bytes: self.size_a_csr,
-                // Multiple fetches of B: A.nnz × n.
-                b_bytes: self.nnz * self.n * eb,
+                // Multiple fetches of B: A.nnz × ncols.
+                b_bytes: self.nnz * ncols * eb,
                 c_bytes: partial_c,
             },
             Dataflow::BStationary => TrafficEstimate {
                 // A refetched once per vertical strip of B tiles.
                 a_bytes: self.size_a_csr * self.strips(),
                 // Single fetch of B: each non-zero column read once.
-                b_bytes: self.nnzcol * self.n * eb,
+                b_bytes: self.nnzcol * ncols * eb,
                 c_bytes: partial_c,
             },
             Dataflow::CStationary => TrafficEstimate {
-                // A refetched once per vertical strip of B.
-                a_bytes: self.size_a_csr * self.strips(),
-                // Multiple fetches of B: A.nnz × n.
-                b_bytes: self.nnz * self.n * eb,
-                // Single update of C: n_nnzrow × n.
-                c_bytes: self.nnzrow * self.n * eb,
+                // A refetched once per k-wide vertical strip of B — ncols/k
+                // strips, treated continuously like `strips()` (= n/k in
+                // the paper's square case, a single pass when B is only k
+                // columns wide).
+                a_bytes: self.size_a_csr * (ncols / self.k).max(1.0),
+                // Multiple fetches of B: A.nnz × ncols.
+                b_bytes: self.nnz * ncols * eb,
+                // Single update of C: n_nnzrow × ncols.
+                c_bytes: self.nnzrow * ncols * eb,
             },
+        }
+    }
+
+    /// Predicted DRAM traffic for the paper's proposal — B-stationary with
+    /// the CSC stream tiled **online** by the near-memory engine (§3.2).
+    ///
+    /// The engine removes Table 1's B-stationary A-refetch penalty: A
+    /// (stored CSC, same size as CSR) streams through the FB partitions
+    /// once, and the produced DCSR tiles ride the crossbar instead of
+    /// DRAM. B and C traffic match offline B-stationary.
+    pub fn estimate_online_bstationary(&self, ncols: f64) -> TrafficEstimate {
+        let offline = self.estimate_with_ncols(Dataflow::BStationary, ncols);
+        TrafficEstimate {
+            a_bytes: self.size_a_csr,
+            ..offline
         }
     }
 }
@@ -267,6 +295,45 @@ mod tests {
         // Memory-bound either way: a GV100 sustains ~0.055 bytes/FLOP.
         assert!(paper > 0.055);
         assert!(bytes_per_flop(0, 0).is_infinite());
+    }
+
+    #[test]
+    fn estimate_with_ncols_scales_dense_terms_only() {
+        let m = TrafficModel::uniform(1024, 64, 0.01);
+        for df in Dataflow::ALL {
+            let full = m.estimate(df);
+            let half = m.estimate_with_ncols(df, m.n / 2.0);
+            // B and C traffic scale linearly with the dense width.
+            assert!((half.b_bytes * 2.0 - full.b_bytes).abs() < 1e-6);
+            assert!((half.c_bytes * 2.0 - full.c_bytes).abs() < 1e-6);
+        }
+        // A traffic ignores the dense width for A- and B-stationary …
+        for df in [Dataflow::AStationary, Dataflow::BStationary] {
+            let half = m.estimate_with_ncols(df, m.n / 2.0);
+            assert!((half.a_bytes - m.estimate(df).a_bytes).abs() < 1e-9);
+        }
+        // … but C-stationary refetches A per k-wide strip of B: a single
+        // pass when B is k columns, n/k passes in the square case.
+        let narrow = m.estimate_with_ncols(Dataflow::CStationary, m.k);
+        assert!((narrow.a_bytes - m.size_a_csr).abs() < 1e-9);
+        // ncols = n reproduces the square-matrix estimate exactly.
+        for df in Dataflow::ALL {
+            assert_eq!(m.estimate(df), m.estimate_with_ncols(df, m.n));
+        }
+    }
+
+    #[test]
+    fn online_bstationary_removes_a_refetch() {
+        let m = TrafficModel::uniform(4096, 64, 0.001);
+        let offline = m.estimate_with_ncols(Dataflow::BStationary, 64.0);
+        let online = m.estimate_online_bstationary(64.0);
+        // §3.2: the engine reads A once instead of once per strip.
+        assert!((online.a_bytes - m.size_a_csr).abs() < 1e-9);
+        assert!((offline.a_bytes / online.a_bytes - m.strips()).abs() < 1e-6);
+        // B and C traffic are untouched.
+        assert_eq!(online.b_bytes, offline.b_bytes);
+        assert_eq!(online.c_bytes, offline.c_bytes);
+        assert!(online.total() < offline.total());
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! * **Metrics** ([`MetricRegistry`]) — named monotonic counters, gauges,
 //!   and log₂-bucketed histograms. Names follow
 //!   `<crate>.<component>.<name>` (e.g. `engine.pipeline.prefetch_miss`).
-//! * **Export** ([`export`]) — a JSONL event stream and a Chrome
-//!   trace-event file loadable in Perfetto / `chrome://tracing`.
+//! * **Export** ([`export`]) — a JSONL event stream, a Chrome trace-event
+//!   file loadable in Perfetto / `chrome://tracing`, and a Prometheus
+//!   text-format metrics page ([`render_prometheus`]).
 //!
 //! Instrumented code takes an [`ObsContext`] (cheaply cloneable); callers
 //! that don't care pass [`ObsContext::disabled()`], which records nothing.
@@ -17,7 +18,10 @@ pub mod export;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace_json, write_chrome_trace, JsonlExporter};
+pub use export::{
+    chrome_trace_json, render_prometheus, sanitize_prometheus_name, write_chrome_trace,
+    write_prometheus, JsonlExporter,
+};
 pub use metrics::{HistogramSnapshot, MetricRegistry, MetricsSnapshot};
 pub use span::{Recorder, Span, SpanRecord};
 

@@ -48,7 +48,9 @@ impl Histogram {
         }
         self.counts[bucket_index(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        // Saturate rather than wrap: the sum only feeds the mean, and a
+        // pinned-at-max mean is more honest than a wrapped one.
+        self.sum = self.sum.saturating_add(value);
     }
 }
 
@@ -166,6 +168,51 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), estimated from the log₂
+    /// buckets with linear interpolation inside the containing bucket.
+    ///
+    /// Observations are ranked `0..count`; the continuous target rank is
+    /// `p/100 · (count − 1)`. The bucket holding that rank contributes a
+    /// value interpolated across its `[lo, hi]` range by the rank's
+    /// position within the bucket, so the estimate is exact for
+    /// single-bucket data at the bucket floor and never leaves the
+    /// bucket's bounds. Returns 0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = p / 100.0 * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if target < (cum + b.count) as f64 || i + 1 == self.buckets.len() {
+                let within = if b.count <= 1 {
+                    0.0
+                } else {
+                    ((target - cum as f64) / (b.count - 1) as f64).clamp(0.0, 1.0)
+                };
+                return b.lo as f64 + (b.hi as f64 - b.lo as f64) * within;
+            }
+            cum += b.count;
+        }
+        0.0
+    }
+
+    /// Median estimate ([`percentile`](Self::percentile) at 50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
 }
 
 /// Point-in-time copy of a whole [`MetricRegistry`].
@@ -260,6 +307,82 @@ mod tests {
         assert!((h.mean() - 201.4).abs() < 1e-12);
         let by_lo: Vec<(u64, u64)> = h.buckets.iter().map(|b| (b.lo, b.count)).collect();
         assert_eq!(by_lo, vec![(0, 1), (1, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn percentiles_empty_histogram_is_zero() {
+        let h = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_single_sample_hit_its_bucket() {
+        let m = MetricRegistry::new();
+        m.histogram_record("h", 5); // bucket [4, 7]
+        let h = &m.snapshot().histograms["h"];
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!((4.0..=7.0).contains(&v), "p{p} = {v} outside bucket");
+        }
+        assert_eq!(h.p50(), 4.0, "single sample pins the bucket floor");
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_bucket() {
+        let m = MetricRegistry::new();
+        // Ten samples, all in bucket [64, 127]: ranks 0..=9 spread linearly
+        // across the bucket range.
+        for _ in 0..10 {
+            m.histogram_record("h", 100);
+        }
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.percentile(0.0), 64.0);
+        assert_eq!(h.percentile(100.0), 127.0);
+        let p50 = h.p50();
+        assert!(p50 > 64.0 && p50 < 127.0, "p50 = {p50}");
+        // Monotone in p.
+        assert!(h.percentile(25.0) <= h.p50());
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn percentiles_across_buckets_follow_mass() {
+        let m = MetricRegistry::new();
+        // 90 small values, 10 large ones: p50 stays small, p99 lands high.
+        for _ in 0..90 {
+            m.histogram_record("h", 2); // bucket [2, 3]
+        }
+        for _ in 0..10 {
+            m.histogram_record("h", 1000); // bucket [512, 1023]
+        }
+        let h = &m.snapshot().histograms["h"];
+        assert!(h.p50() <= 3.0, "p50 = {}", h.p50());
+        assert!(h.p95() >= 512.0, "p95 = {}", h.p95());
+        assert!(h.p99() >= 512.0 && h.p99() <= 1023.0, "p99 = {}", h.p99());
+    }
+
+    #[test]
+    fn percentiles_saturating_bucket_stay_finite() {
+        let m = MetricRegistry::new();
+        m.histogram_record("h", u64::MAX);
+        m.histogram_record("h", u64::MAX - 1);
+        let h = &m.snapshot().histograms["h"];
+        let (lo, hi) = bucket_bounds(64);
+        for p in [50.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v.is_finite());
+            assert!(v >= lo as f64 && v <= hi as f64, "p{p} = {v}");
+        }
+        // Percentile clamps out-of-range p rather than extrapolating.
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(400.0), h.percentile(100.0));
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! nmt-cli convert <file.mtx> [--tile N]
 //! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
 //!                 [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+//! nmt-cli audit   <file.mtx> [--k N] [--tile N] [--json]
+//!                 [--metrics-json <metrics.json>]
+//! nmt-cli bench   [--scale small|medium|paper] [--out <BENCH.json>]
+//!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
 //! ```
 
+use spmm_nmt::bench::{parse_scale, sweep_ledger, GateTolerance, Ledger};
 use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, EngineTiming};
 use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
 use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
@@ -41,6 +46,8 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&rest),
         "convert" => cmd_convert(&rest),
         "spmm" => cmd_spmm(&rest),
+        "audit" => cmd_audit(&rest),
+        "bench" => cmd_bench(&rest),
         "suite" => cmd_suite(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -68,6 +75,18 @@ USAGE:
                                           --trace-out writes a Chrome/Perfetto
                                           trace, --metrics-json the metric
                                           registry snapshot
+  nmt-cli audit   <file.mtx> [--k N] [--tile N] [--json]
+                  [--metrics-json <metrics.json>]
+                                          explain the planner's decision:
+                                          SSF inputs, chosen vs oracle
+                                          dataflow, and Table-1 predicted
+                                          vs measured traffic per operand
+  nmt-cli bench   [--scale small|medium|paper] [--out <BENCH.json>]
+                  [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
+                                          sweep the synthetic suite into a
+                                          schema-versioned run ledger; with
+                                          --baseline, gate against it and
+                                          fail on regression
   nmt-cli suite   [--scale small|medium|paper]
                                           enumerate the synthetic suite
   nmt-cli help                            this message";
@@ -226,6 +245,77 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
         s.sm * 100.0,
         s.other * 100.0
     );
+    Ok(())
+}
+
+fn cmd_audit(rest: &[&String]) -> Result<(), String> {
+    let k: usize = parse_flag(rest, "--k", 64)?;
+    let tile: usize = parse_flag(rest, "--tile", 64)?;
+    let metrics_json = flag(rest, "--metrics-json");
+    let a = load(rest)?;
+    let b = random_dense(a.shape().ncols, k, 0xB);
+    let mut config = PlannerConfig::paper_default();
+    config.tile_w = tile;
+    config.tile_h = tile;
+    // The audit always observes: its whole point is the metrics.
+    let obs = ObsContext::enabled();
+    let audit = SpmmPlanner::new(config)
+        .explain("cli", &a, &b, &obs)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = &metrics_json {
+        let json = obs.metrics.snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if rest.iter().any(|x| x.as_str() == "--json") {
+        println!("{}", audit.to_json());
+    } else {
+        print!("{}", audit.render_text());
+    }
+    Ok(())
+}
+
+fn cmd_bench(rest: &[&String]) -> Result<(), String> {
+    let scale = match flag(rest, "--scale") {
+        None => SuiteScale::Small,
+        Some(v) => parse_scale(&v)?,
+    };
+    let tol = GateTolerance {
+        speedup_frac: parse_flag(rest, "--tol-speedup", 0.05)?,
+        accuracy_abs: parse_flag(rest, "--tol-accuracy", 0.05)?,
+    };
+    let baseline_path = flag(rest, "--baseline");
+    let out = flag(rest, "--out");
+    eprintln!("sweeping {scale:?} suite through the audited planner...");
+    let ledger = sweep_ledger(scale).map_err(|e| e.to_string())?;
+    println!("{}", ledger.render_summary());
+    if let Some(path) = &out {
+        std::fs::write(path, ledger.to_json())
+            .map_err(|e| format!("cannot write ledger to {path}: {e}"))?;
+        eprintln!("wrote run ledger to {path}");
+    }
+    if let Some(path) = &baseline_path {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = Ledger::from_json(&json)?;
+        match ledger.gate(&baseline, tol) {
+            Ok(notes) => {
+                for note in notes {
+                    println!("gate: {note}");
+                }
+                println!("gate: PASS vs {path}");
+            }
+            Err(regressions) => {
+                for r in &regressions {
+                    eprintln!("gate: REGRESSION: {r}");
+                }
+                return Err(format!(
+                    "{} regression(s) vs baseline {path}",
+                    regressions.len()
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

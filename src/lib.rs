@@ -12,8 +12,10 @@
 //! * [`model`] — analytical traffic model, entropy, SSF heuristic.
 //! * [`obs`] — spans, metric registry, Chrome-trace/JSONL export.
 //! * [`planner`] — the auto-tuned SpMM planner (core crate `nmt`).
+//! * [`bench`] — experiment harness: suite sweeps, run ledger, gate.
 
 pub use nmt as planner;
+pub use nmt_bench as bench;
 pub use nmt_engine as engine;
 pub use nmt_formats as formats;
 pub use nmt_kernels as kernels;

@@ -77,6 +77,129 @@ fn spmm_subcommand_json() {
 }
 
 #[test]
+fn audit_subcommand_text_json_and_metrics() {
+    let path = demo_matrix();
+    let metrics_path = std::env::temp_dir().join("nmt_cli_smoke/audit_metrics.json");
+    let out = cli()
+        .args([
+            "audit",
+            path.to_str().expect("utf8 path"),
+            "--k",
+            "16",
+            "--tile",
+            "16",
+            "--metrics-json",
+            metrics_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "SSF",
+        "decision",
+        "oracle",
+        "predicted B",
+        "measured B",
+        "rel err",
+        "<- chosen",
+        "c-stationary",
+        "b-stationary-online",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in: {text}");
+    }
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    assert!(metrics.contains("audit.model.c_stationary.rel_err.mat_a"));
+    assert!(metrics.contains("audit.decisions"));
+
+    let out = cli()
+        .args([
+            "audit",
+            path.to_str().expect("utf8 path"),
+            "--k",
+            "16",
+            "--tile",
+            "16",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert!(parsed["mispick_cost"].as_f64().expect("mispick_cost") >= 1.0);
+    assert!(parsed["cstationary"]["validation"].as_array().is_some());
+}
+
+#[test]
+fn bench_subcommand_writes_ledger_and_gates() {
+    let dir = std::env::temp_dir().join("nmt_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ledger_path = dir.join("BENCH_small.json");
+    let out = cli()
+        .args([
+            "bench",
+            "--scale",
+            "small",
+            "--out",
+            ledger_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("geomean"));
+    let json = std::fs::read_to_string(&ledger_path).expect("ledger written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["schema_version"].as_u64(), Some(1));
+    assert!(parsed["summary"]["geomean_speedup"].as_f64().expect("geomean") > 0.0);
+
+    // Gating against the ledger we just wrote passes...
+    let out = cli()
+        .args([
+            "bench",
+            "--scale",
+            "small",
+            "--baseline",
+            ledger_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gate: PASS"));
+
+    // ...and against a doctored faster baseline the gate fires.
+    let doctored_path = dir.join("BENCH_doctored.json");
+    let mut doctored = spmm_nmt::bench::Ledger::from_json(&json).expect("parse own ledger");
+    doctored.summary.geomean_speedup *= 2.0;
+    std::fs::write(&doctored_path, doctored.to_json()).expect("write doctored");
+    let out = cli()
+        .args([
+            "bench",
+            "--scale",
+            "small",
+            "--baseline",
+            doctored_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "gate must fail on regression");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("REGRESSION"));
+
+    // An unknown scale is rejected loudly instead of demoted to small.
+    let out = cli().args(["bench", "--scale", "papr"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecognized scale"));
+}
+
+#[test]
 fn suite_subcommand_and_errors() {
     let out = cli()
         .args(["suite", "--scale", "small"])
