@@ -33,16 +33,14 @@ fn main() {
                     .collect()
             })
             .collect();
-        let naive = imbalance(&partition_loads(
-            Layout::StripPerPartition,
-            &tile_bytes,
-            partitions,
-        ));
-        let rot = imbalance(&partition_loads(
-            Layout::TileRotated,
-            &tile_bytes,
-            partitions,
-        ));
+        let naive = imbalance(
+            &partition_loads(Layout::StripPerPartition, &tile_bytes, partitions)
+                .expect("positive partition count"),
+        );
+        let rot = imbalance(
+            &partition_loads(Layout::TileRotated, &tile_bytes, partitions)
+                .expect("positive partition count"),
+        );
         (desc.name.clone(), naive, rot)
     });
     let rows: Vec<Vec<String>> = imb
@@ -72,7 +70,9 @@ fn main() {
     let avg_row_bytes = mean(&per_row);
     let mut rows = Vec::new();
     for &x in &[1usize, 4, 16, 64, 256, 1024] {
-        let ov = cost.overhead_fraction(x, avg_row_bytes);
+        let ov = cost
+            .overhead_fraction(x, avg_row_bytes)
+            .expect("positive switch granularity");
         rows.push(vec![
             format!("{x}"),
             format!("{:.2}%", ov * 100.0),

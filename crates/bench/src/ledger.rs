@@ -24,7 +24,19 @@ use std::collections::BTreeMap;
 
 /// Version of the `BENCH_*.json` schema. Bump on any change to the field
 /// set or semantics; the gate refuses to compare across versions.
-pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added `errors` — per-matrix error rows, so one malformed matrix is
+/// reported instead of aborting the whole sweep.
+pub const LEDGER_SCHEMA_VERSION: u32 = 2;
+
+/// A matrix whose sweep failed: recorded instead of aborting the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRow {
+    /// Suite matrix name.
+    pub matrix: String,
+    /// The error that stopped this matrix's run.
+    pub error: String,
+}
 
 /// One matrix's row in the ledger.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,6 +157,9 @@ pub struct Ledger {
     pub tile: usize,
     /// Per-matrix rows, in suite order.
     pub rows: Vec<LedgerRow>,
+    /// Matrices whose run errored, in suite order (empty on a clean
+    /// sweep). The gate treats any change in this list as a regression.
+    pub errors: Vec<ErrorRow>,
     /// Corpus aggregates.
     pub summary: CorpusSummary,
 }
@@ -182,13 +197,27 @@ pub fn scale_label(scale: SuiteScale) -> &'static str {
 }
 
 impl Ledger {
-    /// Aggregate a set of audits (in suite order) into a ledger.
+    /// Aggregate a set of audits (in suite order) into a ledger with no
+    /// error rows — the common clean-sweep case.
     pub fn from_audits(
         scale: SuiteScale,
         seed: u64,
         k: usize,
         tile: usize,
         audits: &[DecisionAudit],
+    ) -> Self {
+        Self::from_sweep(scale, seed, k, tile, audits, Vec::new())
+    }
+
+    /// Aggregate a sweep's successful audits plus its per-matrix errors
+    /// (both in suite order) into a ledger.
+    pub fn from_sweep(
+        scale: SuiteScale,
+        seed: u64,
+        k: usize,
+        tile: usize,
+        audits: &[DecisionAudit],
+        errors: Vec<ErrorRow>,
     ) -> Self {
         let rows: Vec<LedgerRow> = audits.iter().map(LedgerRow::from_audit).collect();
         let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
@@ -216,7 +245,12 @@ impl Ledger {
             reg.histogram_record("ledger.chosen_ns", r.chosen_ns_rounded());
         }
         let snap = reg.snapshot();
-        let hist = &snap.histograms["ledger.chosen_ns"];
+        // All-errored sweeps record nothing; report zero percentiles
+        // rather than indexing a histogram that was never created.
+        let (p50, p95, p99) = match snap.histograms.get("ledger.chosen_ns") {
+            Some(hist) => (hist.p50(), hist.p95(), hist.p99()),
+            None => (0.0, 0.0, 0.0),
+        };
         let summary = CorpusSummary {
             matrices: rows.len(),
             geomean_speedup: geomean(&speedups),
@@ -234,11 +268,7 @@ impl Ledger {
                 rows.iter().filter(|r| r.speedup > 1.0).count() as f64 / rows.len() as f64
             },
             traffic_bytes,
-            chosen_latency_ns: LatencyPercentiles {
-                p50: hist.p50(),
-                p95: hist.p95(),
-                p99: hist.p99(),
-            },
+            chosen_latency_ns: LatencyPercentiles { p50, p95, p99 },
             model_mean_abs_rel_err: if rows.is_empty() {
                 0.0
             } else {
@@ -252,6 +282,7 @@ impl Ledger {
             k,
             tile,
             rows,
+            errors,
             summary,
         }
     }
@@ -269,10 +300,15 @@ impl Ledger {
     /// Compact one-line summary for logs.
     pub fn render_summary(&self) -> String {
         let s = &self.summary;
+        let errors = if self.errors.is_empty() {
+            String::new()
+        } else {
+            format!(" | {} ERRORED", self.errors.len())
+        };
         format!(
             "{} matrices @ {} | geomean {:.3}x (oracle {:.3}x) | SSF accuracy {:.1}% \
              ({} mispicks, mean cost {:.2}x) | chosen p50/p95/p99 = {:.0}/{:.0}/{:.0} ns \
-             | model |rel err| {:.1}%",
+             | model |rel err| {:.1}%{}",
             s.matrices,
             self.scale,
             s.geomean_speedup,
@@ -283,7 +319,8 @@ impl Ledger {
             s.chosen_latency_ns.p50,
             s.chosen_latency_ns.p95,
             s.chosen_latency_ns.p99,
-            s.model_mean_abs_rel_err * 100.0
+            s.model_mean_abs_rel_err * 100.0,
+            errors
         )
     }
 
@@ -315,6 +352,11 @@ impl Ledger {
                 "matrix count",
                 self.rows.len().to_string(),
                 baseline.rows.len().to_string(),
+            ),
+            (
+                "error-row count",
+                self.errors.len().to_string(),
+                baseline.errors.len().to_string(),
             ),
         ] {
             if run != base {
@@ -383,6 +425,11 @@ impl LedgerRow {
 /// Sweep the synthetic suite at `scale` through the audited planner and
 /// aggregate the ledger. Deterministic: the suite, the dense operands,
 /// and the simulator all derive from [`EXPERIMENT_SEED`].
+///
+/// Matrices run in parallel across the rayon pool; a matrix whose run
+/// fails lands in [`Ledger::errors`] instead of aborting the sweep, and
+/// both rows and error rows come out in suite order regardless of
+/// thread count.
 pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
     let tile = experiment_tile(scale);
     let k = experiment_k(scale);
@@ -392,21 +439,41 @@ pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
         tile_h: tile,
         threshold: DEFAULT_SSF_THRESHOLD,
     };
-    let suite = SuiteSpec::new(scale, EXPERIMENT_SEED).build();
-    let audits: Result<Vec<DecisionAudit>, SimError> = suite
+    let suite = SuiteSpec::new(scale, EXPERIMENT_SEED).try_build();
+    // Parallel over matrices; collect() preserves suite order, so the
+    // audit/error partition below is schedule-independent. A matrix that
+    // fails to generate or to run becomes an error row, not an abort.
+    let outcomes: Vec<(String, Result<DecisionAudit, String>)> = suite
         .par_iter()
-        .map(|(desc, a)| {
-            let planner = SpmmPlanner::new(config.clone());
-            let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
-            planner.explain(&desc.name, a, &b, &ObsContext::disabled())
+        .map(|(desc, built)| {
+            let audit = match built {
+                Err(e) => Err(e.to_string()),
+                Ok(a) => {
+                    let planner = SpmmPlanner::new(config.clone());
+                    let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
+                    planner
+                        .explain(&desc.name, a, &b, &ObsContext::disabled())
+                        .map_err(|e| e.to_string())
+                }
+            };
+            (desc.name.clone(), audit)
         })
         .collect();
-    Ok(Ledger::from_audits(
+    let mut audits = Vec::with_capacity(outcomes.len());
+    let mut errors = Vec::new();
+    for (matrix, outcome) in outcomes {
+        match outcome {
+            Ok(audit) => audits.push(audit),
+            Err(error) => errors.push(ErrorRow { matrix, error }),
+        }
+    }
+    Ok(Ledger::from_sweep(
         scale,
         EXPERIMENT_SEED,
         k,
         tile,
-        &audits?,
+        &audits,
+        errors,
     ))
 }
 
@@ -510,6 +577,48 @@ mod tests {
             .expect_err("identity mismatch");
         assert!(errs.iter().any(|e| e.contains("seed")));
         assert!(errs.iter().any(|e| e.contains("matrix count")));
+    }
+
+    #[test]
+    fn error_rows_are_reported_not_fatal() {
+        let clean = quick_ledger(11);
+        let errored = Ledger::from_sweep(
+            SuiteScale::Small,
+            11,
+            8,
+            clean.tile,
+            &[],
+            vec![ErrorRow {
+                matrix: "broken".to_string(),
+                error: "shape mismatch: inner dimensions must agree".to_string(),
+            }],
+        );
+        assert_eq!(errored.errors.len(), 1);
+        assert_eq!(errored.summary.matrices, 0);
+        assert!(errored.render_summary().contains("1 ERRORED"));
+        assert!(!clean.render_summary().contains("ERRORED"));
+        let back = Ledger::from_json(&errored.to_json()).expect("parses");
+        assert_eq!(back, errored);
+    }
+
+    #[test]
+    fn gate_rejects_error_row_count_change() {
+        let clean = quick_ledger(13);
+        let mut errored = clean.clone();
+        errored.errors.push(ErrorRow {
+            matrix: "broken".to_string(),
+            error: "boom".to_string(),
+        });
+        let errs = errored
+            .gate(&clean, GateTolerance::default())
+            .expect_err("new error row must gate");
+        assert!(errs.iter().any(|e| e.contains("error-row count")));
+        // Symmetric: a baseline with errors and a clean run also mismatch
+        // (the baseline must be consciously refreshed).
+        let errs = clean
+            .gate(&errored, GateTolerance::default())
+            .expect_err("count mismatch either way");
+        assert!(errs.iter().any(|e| e.contains("error-row count")));
     }
 
     #[test]

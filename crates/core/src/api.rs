@@ -87,6 +87,7 @@ impl<'a> ConversionQueue<'a> {
         let tile_index = req.row_start as usize / self.tile_h;
         self.layout
             .partition_of(req.strip_id, tile_index, self.num_partitions)
+            .expect("queue constructor enforces num_partitions > 0")
     }
 
     /// Enqueue a request ("queued and processed in the order of arrival").
@@ -159,15 +160,7 @@ impl<'a> ConversionQueue<'a> {
                     .unwrap_or_default();
                 let resp = self.serve(req);
                 let after = self.converters[&req.strip_id].stats();
-                let delta = ConversionStats {
-                    comparator_passes: after.comparator_passes - before.comparator_passes,
-                    lane_slots: after.lane_slots - before.lane_slots,
-                    elements: after.elements - before.elements,
-                    rows_emitted: after.rows_emitted - before.rows_emitted,
-                    tiles: after.tiles - before.tiles,
-                    input_bytes: after.input_bytes - before.input_bytes,
-                    output_bytes: after.output_bytes - before.output_bytes,
-                };
+                let delta = after.delta(&before);
                 busy_ns[p] += timing.conversion_time_ns(&delta);
                 out.push(TimedTileResponse {
                     response: resp,
@@ -190,7 +183,7 @@ impl<'a> ConversionQueue<'a> {
 
     /// Number of strips in the underlying matrix.
     pub fn num_strips(&self) -> usize {
-        self.csc.shape().ncols.div_ceil(self.tile_w).max(1)
+        nmt_formats::strip_count(self.csc.shape().ncols, self.tile_w)
     }
 }
 

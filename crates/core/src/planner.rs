@@ -336,7 +336,15 @@ impl SpmmPlanner {
 
 /// Convenience: run the full planner once with the paper configuration.
 pub fn auto_spmm(a: &Csr, b: &DenseMatrix) -> Result<PlanReport, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    if a.shape().ncols != b.nrows() {
+        return Err(SimError::ShapeMismatch {
+            detail: format!(
+                "inner dimensions must agree: A has {} cols, B has {} rows",
+                a.shape().ncols,
+                b.nrows()
+            ),
+        });
+    }
     SpmmPlanner::new(PlannerConfig::paper_default()).execute(a, b)
 }
 

@@ -58,6 +58,22 @@ impl ConversionStats {
         self.lane_slots += other.lane_slots;
     }
 
+    /// Counter-wise difference `self - before`, for attributing the work
+    /// of one tile (or one drain step) out of a cumulative counter. All
+    /// counters are monotone, so `before` must be an earlier snapshot of
+    /// the same converter.
+    pub fn delta(&self, before: &ConversionStats) -> ConversionStats {
+        ConversionStats {
+            comparator_passes: self.comparator_passes - before.comparator_passes,
+            elements: self.elements - before.elements,
+            rows_emitted: self.rows_emitted - before.rows_emitted,
+            tiles: self.tiles - before.tiles,
+            input_bytes: self.input_bytes - before.input_bytes,
+            output_bytes: self.output_bytes - before.output_bytes,
+            lane_slots: self.lane_slots - before.lane_slots,
+        }
+    }
+
     /// Fraction of comparator-lane slots that emitted an element — how
     /// full the tree's input registers ran (1.0 = every lane contributed
     /// on every pass; low values mean tall, sparse columns).
@@ -242,19 +258,31 @@ impl<'a> StripConverter<'a> {
 /// Convert an entire CSC matrix to tiled DCSR through the engine model —
 /// the online equivalent of [`nmt_formats::TiledDcsr::from_csr`]. Returns
 /// the tiles per strip and the merged hardware-activity counters.
+///
+/// Strips convert rayon-parallel (each strip's converter is independent
+/// state); results come back in strip order and the stats merge walks
+/// strips ascending, so the output is identical at any thread count.
 pub fn convert_matrix(
     csc: &Csc,
     tile_w: usize,
     tile_h: usize,
 ) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
+    use rayon::prelude::*;
     let ncols = csc.shape().ncols;
-    let nstrips = ncols.div_ceil(tile_w).max(1);
+    let nstrips = nmt_formats::strip_count(ncols, tile_w);
+    let per_strip: Vec<(Vec<DcsrTile>, ConversionStats)> = (0..nstrips)
+        .into_par_iter()
+        .map(|s| {
+            let mut conv = StripConverter::new(csc, s, tile_w);
+            let tiles = conv.convert_strip(tile_h);
+            (tiles, conv.stats())
+        })
+        .collect();
     let mut strips = Vec::with_capacity(nstrips);
     let mut total = ConversionStats::default();
-    for s in 0..nstrips {
-        let mut conv = StripConverter::new(csc, s, tile_w);
-        strips.push(conv.convert_strip(tile_h));
-        total.merge(&conv.stats());
+    for (tiles, stats) in per_strip {
+        strips.push(tiles);
+        total.merge(&stats);
     }
     (strips, total)
 }

@@ -1,0 +1,336 @@
+//! The parallel engine farm: one conversion unit per FB partition (§6.1).
+//!
+//! The paper places a transform engine in *every* FB partition and spreads
+//! each strip's tiles across them (tile rotation, Figure 17) so no single
+//! partition camps. This module is the functional-model counterpart: the
+//! strips of a matrix are converted by per-partition [`StripConverter`]s
+//! running rayon-parallel, and every counter is reduced through
+//! per-partition collectors in stable (partition-index) order.
+//!
+//! Determinism contract: the farm's outputs — the tiles, the merged
+//! [`ConversionStats`], the per-partition loads, and the switch counters —
+//! are **byte-identical regardless of thread count**. Workers return their
+//! results keyed by strip index; the reduction then walks strips in
+//! ascending order and partitions in ascending order, so the merge order
+//! (and therefore every sum) never depends on scheduling.
+
+use crate::convert::{ConversionStats, StripConverter};
+use crate::placement::{Layout, PlacementError, SwitchCost};
+use nmt_formats::{Csc, DcsrTile, Index, SparseMatrix};
+use rayon::prelude::*;
+
+/// Configuration of the engine farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Number of FB partitions (engines). GV100 has 64.
+    pub partitions: usize,
+    /// Tile → partition placement policy.
+    pub layout: Layout,
+}
+
+impl FarmConfig {
+    /// The paper's configuration: 64 FB partitions with tile rotation.
+    pub fn paper_default() -> Self {
+        Self {
+            partitions: 64,
+            layout: Layout::TileRotated,
+        }
+    }
+
+    /// A farm sized to a simulated GPU's partition count, with rotation.
+    pub fn for_partitions(partitions: usize) -> Self {
+        Self {
+            partitions,
+            layout: Layout::TileRotated,
+        }
+    }
+}
+
+/// Work served by one FB partition's engine during a farm conversion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionWork {
+    /// Tiles this partition's engine produced.
+    pub tiles: u64,
+    /// Merged converter counters for those tiles.
+    pub stats: ConversionStats,
+}
+
+/// Result of a whole-matrix farm conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmRun {
+    /// The converted tiles, strip-major: `strips[s][t]`.
+    pub strips: Vec<Vec<DcsrTile>>,
+    /// Totals across every engine (equals the serial conversion's stats).
+    pub stats: ConversionStats,
+    /// Merged counters per strip, index = strip id — the kernel layer's
+    /// per-strip histograms read these without re-running converters.
+    pub per_strip: Vec<ConversionStats>,
+    /// Per-partition collectors, index = partition id (always
+    /// `config.partitions` entries; idle partitions report zeros).
+    pub per_partition: Vec<PartitionWork>,
+    /// Partition hand-offs: consecutive tiles of a strip living in
+    /// different partitions (§6.1's `next_fb_ptr` + frontier transfer).
+    pub switches: u64,
+    /// Bytes moved by those hand-offs, priced by [`SwitchCost`].
+    pub switch_bytes: u64,
+}
+
+impl FarmRun {
+    /// Per-partition served bytes (engine output), the camping metric fed
+    /// to [`crate::placement::imbalance`].
+    pub fn partition_loads(&self) -> Vec<u64> {
+        self.per_partition
+            .iter()
+            .map(|p| p.stats.output_bytes)
+            .collect()
+    }
+}
+
+/// Bridge a farm run's placement counters into the observability registry
+/// under `engine.farm.*`.
+pub fn publish_farm(obs: &nmt_obs::ObsContext, farm: &FarmRun) {
+    let m = &obs.metrics;
+    m.counter_add("engine.farm.switches", farm.switches);
+    m.counter_add("engine.farm.switch_bytes", farm.switch_bytes);
+    m.gauge_set("engine.farm.partitions", farm.per_partition.len() as f64);
+    m.gauge_set(
+        "engine.farm.imbalance",
+        crate::placement::imbalance(&farm.partition_loads()),
+    );
+}
+
+/// Per-strip result produced by one parallel worker: the strip's tiles
+/// plus a stats delta per tile, so the reducer can attribute each tile to
+/// its owning partition without re-running the converter.
+struct StripOutput {
+    tiles: Vec<DcsrTile>,
+    per_tile: Vec<ConversionStats>,
+}
+
+/// Convert one strip, snapshotting the converter counters around every
+/// tile. The converter's setup cost (the Figure 14 ❶ pointer loads) lands
+/// in the first tile's delta so the per-tile deltas sum to the strip total.
+fn convert_strip_tracked(csc: &Csc, strip_id: usize, tile_w: usize, tile_h: usize) -> StripOutput {
+    let nrows = csc.shape().nrows;
+    let mut conv = StripConverter::new(csc, strip_id, tile_w);
+    let mut tiles = Vec::new();
+    let mut per_tile = Vec::new();
+    let mut before = ConversionStats::default();
+    let mut row_start: Index = 0;
+    while (row_start as usize) < nrows.max(1) {
+        tiles.push(conv.next_tile(row_start, tile_h));
+        let after = conv.stats();
+        per_tile.push(after.delta(&before));
+        before = after;
+        row_start += tile_h as Index;
+        if nrows == 0 {
+            break;
+        }
+    }
+    StripOutput { tiles, per_tile }
+}
+
+/// Convert an entire CSC matrix through the parallel engine farm.
+///
+/// Strips are converted rayon-parallel (`RAYON_NUM_THREADS` respected);
+/// the reduction walks strips and partitions in ascending index order, so
+/// the result is identical to a serial run. Total stats equal
+/// [`crate::convert::convert_matrix`]'s, with the added per-partition
+/// attribution and hand-off accounting.
+pub fn convert_matrix_farm(
+    csc: &Csc,
+    tile_w: usize,
+    tile_h: usize,
+    config: FarmConfig,
+) -> Result<FarmRun, PlacementError> {
+    if config.partitions == 0 {
+        return Err(PlacementError::NoPartitions);
+    }
+    let nstrips = nmt_formats::strip_count(csc.shape().ncols, tile_w);
+    let outputs: Vec<StripOutput> = (0..nstrips)
+        .into_par_iter()
+        .map(|s| convert_strip_tracked(csc, s, tile_w, tile_h))
+        .collect();
+
+    // Deterministic reduction: strips ascending, tiles ascending within a
+    // strip, partition collectors indexed (not ordered by completion).
+    let cost = SwitchCost { lanes: tile_w };
+    let mut per_partition = vec![PartitionWork::default(); config.partitions];
+    let mut per_strip = Vec::with_capacity(nstrips);
+    let mut total = ConversionStats::default();
+    let mut switches = 0u64;
+    let mut strips = Vec::with_capacity(nstrips);
+    for (s, out) in outputs.into_iter().enumerate() {
+        let mut prev_partition = None;
+        let mut strip_total = ConversionStats::default();
+        for (t, delta) in out.per_tile.iter().enumerate() {
+            let p = config.layout.partition_index(s, t, config.partitions);
+            per_partition[p].tiles += 1;
+            per_partition[p].stats.merge(delta);
+            strip_total.merge(delta);
+            total.merge(delta);
+            if prev_partition.is_some_and(|prev| prev != p) {
+                switches += 1;
+            }
+            prev_partition = Some(p);
+        }
+        per_strip.push(strip_total);
+        strips.push(out.tiles);
+    }
+    Ok(FarmRun {
+        strips,
+        stats: total,
+        per_strip,
+        per_partition,
+        switches,
+        switch_bytes: switches * cost.bytes_per_switch(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_matrix;
+    use nmt_formats::{Coo, Csr};
+
+    fn sample_csc(n: usize, seed: u64) -> Csc {
+        let mut entries = Vec::new();
+        let mut state = seed | 1;
+        for _ in 0..n * 4 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 33) as usize % n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = (state >> 33) as usize % n;
+            entries.push((r as u32, c as u32, (1 + r + c) as f32));
+        }
+        entries.sort_by_key(|e| (e.0, e.1));
+        entries.dedup_by_key(|e| (e.0, e.1));
+        let rows: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<u32> = entries.iter().map(|e| e.1).collect();
+        let vals: Vec<f32> = entries.iter().map(|e| e.2).collect();
+        let coo = Coo::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        Csr::from_coo(&coo).to_csc()
+    }
+
+    #[test]
+    fn farm_matches_serial_conversion() {
+        let csc = sample_csc(96, 7);
+        let (serial_tiles, serial_stats) = convert_matrix(&csc, 16, 16);
+        let farm = convert_matrix_farm(&csc, 16, 16, FarmConfig::for_partitions(4)).unwrap();
+        assert_eq!(farm.strips, serial_tiles);
+        assert_eq!(farm.stats, serial_stats);
+    }
+
+    #[test]
+    fn per_partition_stats_sum_to_total() {
+        let csc = sample_csc(64, 3);
+        let farm = convert_matrix_farm(&csc, 8, 8, FarmConfig::for_partitions(4)).unwrap();
+        let mut summed = ConversionStats::default();
+        let mut tiles = 0;
+        for p in &farm.per_partition {
+            summed.merge(&p.stats);
+            tiles += p.tiles;
+        }
+        assert_eq!(summed, farm.stats);
+        assert_eq!(tiles, farm.stats.tiles);
+        let mut strip_sum = ConversionStats::default();
+        for s in &farm.per_strip {
+            strip_sum.merge(s);
+        }
+        assert_eq!(strip_sum, farm.stats, "per-strip view sums to total too");
+    }
+
+    #[test]
+    fn rotation_switches_partitions_between_tiles() {
+        let csc = sample_csc(64, 5);
+        let rotated = convert_matrix_farm(
+            &csc,
+            8,
+            8,
+            FarmConfig {
+                partitions: 4,
+                layout: Layout::TileRotated,
+            },
+        )
+        .unwrap();
+        let naive = convert_matrix_farm(
+            &csc,
+            8,
+            8,
+            FarmConfig {
+                partitions: 4,
+                layout: Layout::StripPerPartition,
+            },
+        )
+        .unwrap();
+        // Strip-per-partition never hands off; rotation hands off on every
+        // tile step of every strip.
+        assert_eq!(naive.switches, 0);
+        assert_eq!(naive.switch_bytes, 0);
+        let tile_steps: u64 = rotated
+            .strips
+            .iter()
+            .map(|s| (s.len() as u64).saturating_sub(1))
+            .sum();
+        assert_eq!(rotated.switches, tile_steps);
+        assert_eq!(
+            rotated.switch_bytes,
+            rotated.switches * SwitchCost { lanes: 8 }.bytes_per_switch()
+        );
+        // Same tiles and totals either way: placement changes ownership,
+        // not the conversion.
+        assert_eq!(rotated.strips, naive.strips);
+        assert_eq!(rotated.stats, naive.stats);
+    }
+
+    #[test]
+    fn rotation_balances_loads() {
+        let csc = sample_csc(128, 11);
+        let cfg = FarmConfig {
+            partitions: 4,
+            layout: Layout::TileRotated,
+        };
+        let farm = convert_matrix_farm(&csc, 8, 8, cfg).unwrap();
+        let loads = farm.partition_loads();
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().all(|&l| l > 0), "rotation feeds every engine");
+    }
+
+    #[test]
+    fn zero_partitions_is_an_error() {
+        let csc = sample_csc(16, 1);
+        assert_eq!(
+            convert_matrix_farm(&csc, 8, 8, FarmConfig::for_partitions(0)),
+            Err(PlacementError::NoPartitions)
+        );
+    }
+
+    #[test]
+    fn empty_matrix_gets_one_phantom_strip() {
+        let csc = Csc::new(0, 0, vec![0], vec![], vec![]).unwrap();
+        let farm = convert_matrix_farm(&csc, 8, 8, FarmConfig::for_partitions(2)).unwrap();
+        assert_eq!(farm.strips.len(), 1, "phantom strip for ncols == 0");
+        assert_eq!(farm.strips[0].len(), 1, "phantom tile for nrows == 0");
+        assert_eq!(farm.strips[0][0].nnz(), 0);
+        assert_eq!(farm.stats.elements, 0);
+        assert_eq!(farm.switches, 0);
+    }
+
+    #[test]
+    fn farm_is_thread_count_invariant() {
+        // The same conversion under 1 and 4 threads must be byte-identical
+        // (ParIter preserves order; the reduction is index-driven).
+        let csc = sample_csc(96, 13);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        let serial = convert_matrix_farm(&csc, 16, 16, FarmConfig::for_partitions(4)).unwrap();
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let parallel = convert_matrix_farm(&csc, 16, 16, FarmConfig::for_partitions(4)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

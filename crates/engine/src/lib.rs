@@ -21,12 +21,15 @@
 //! * [`area_energy`] — TSMC-16 nm-derived area/power model (§5.3).
 //! * [`placement`] — FB-partition data layout and the tile-separation
 //!   load-balancing scheme (§6.1, Fig 17).
+//! * [`farm`] — the parallel engine farm: per-partition converters running
+//!   rayon-parallel with a deterministic partition-ordered reduction.
 
 #![warn(missing_docs)]
 
 pub mod area_energy;
 pub mod comparator;
 pub mod convert;
+pub mod farm;
 pub mod pipeline;
 pub mod placement;
 pub mod timing;
@@ -36,6 +39,7 @@ pub use comparator::{ComparatorTree, MinResult, TreeStructure};
 pub use convert::{
     convert_matrix, convert_matrix_dcsc, publish_conversion, ConversionStats, StripConverter,
 };
+pub use farm::{convert_matrix_farm, publish_farm, FarmConfig, FarmRun, PartitionWork};
 pub use pipeline::{publish_pipeline, simulate_strip, PipelineConfig, PipelineResult};
-pub use placement::{imbalance, partition_loads, Layout, SwitchCost};
+pub use placement::{imbalance, partition_loads, Layout, PlacementError, SwitchCost};
 pub use timing::{EngineTiming, PrefetchBuffer};

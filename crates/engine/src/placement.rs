@@ -10,6 +10,31 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Errors from placement queries. These used to be `assert!`s, but a
+/// malformed request must not abort a whole corpus sweep — callers turn
+/// them into per-matrix error rows instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A layout query was made with zero FB partitions.
+    NoPartitions,
+    /// A switch-overhead query with `rows_per_switch == 0` (the overhead
+    /// ratio would divide by zero).
+    ZeroSwitchGranularity,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoPartitions => write!(f, "need at least one FB partition"),
+            PlacementError::ZeroSwitchGranularity => {
+                write!(f, "rows_per_switch must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// How strip data maps onto FB partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Layout {
@@ -23,8 +48,24 @@ pub enum Layout {
 
 impl Layout {
     /// The partition owning tile `t` of strip `s` under this layout.
-    pub fn partition_of(self, strip: usize, tile: usize, num_partitions: usize) -> usize {
-        assert!(num_partitions > 0, "need at least one partition");
+    ///
+    /// Errors with [`PlacementError::NoPartitions`] when
+    /// `num_partitions == 0` (previously a panic).
+    pub fn partition_of(
+        self,
+        strip: usize,
+        tile: usize,
+        num_partitions: usize,
+    ) -> Result<usize, PlacementError> {
+        if num_partitions == 0 {
+            return Err(PlacementError::NoPartitions);
+        }
+        Ok(self.partition_index(strip, tile, num_partitions))
+    }
+
+    /// Infallible core of [`Self::partition_of`]; callers have already
+    /// validated `num_partitions > 0`.
+    pub(crate) fn partition_index(self, strip: usize, tile: usize, num_partitions: usize) -> usize {
         match self {
             Layout::StripPerPartition => strip % num_partitions,
             Layout::TileRotated => (strip + tile) % num_partitions,
@@ -56,24 +97,40 @@ impl SwitchCost {
     /// if the number of non-zero tile rows stored in an FB partition is
     /// not less than 64" — i.e. this ratio is ≪ 1 at
     /// `rows_per_switch ≥ 64`.
-    pub fn overhead_fraction(&self, rows_per_switch: usize, avg_row_bytes: f64) -> f64 {
-        assert!(rows_per_switch > 0, "rows_per_switch must be positive");
+    ///
+    /// Errors with [`PlacementError::ZeroSwitchGranularity`] when
+    /// `rows_per_switch == 0` (previously a panic).
+    pub fn overhead_fraction(
+        &self,
+        rows_per_switch: usize,
+        avg_row_bytes: f64,
+    ) -> Result<f64, PlacementError> {
+        if rows_per_switch == 0 {
+            return Err(PlacementError::ZeroSwitchGranularity);
+        }
         let useful = rows_per_switch as f64 * avg_row_bytes;
-        self.bytes_per_switch() as f64 / useful
+        Ok(self.bytes_per_switch() as f64 / useful)
     }
 }
 
 /// Assign every `(strip, tile)` of a tiled matrix to a partition and
 /// return, per partition, the total bytes it will serve — the quantity
 /// whose max/mean ratio measures camping.
-pub fn partition_loads(layout: Layout, tile_bytes: &[Vec<u64>], num_partitions: usize) -> Vec<u64> {
+pub fn partition_loads(
+    layout: Layout,
+    tile_bytes: &[Vec<u64>],
+    num_partitions: usize,
+) -> Result<Vec<u64>, PlacementError> {
+    if num_partitions == 0 {
+        return Err(PlacementError::NoPartitions);
+    }
     let mut loads = vec![0u64; num_partitions];
     for (s, tiles) in tile_bytes.iter().enumerate() {
         for (t, &bytes) in tiles.iter().enumerate() {
-            loads[layout.partition_of(s, t, num_partitions)] += bytes;
+            loads[layout.partition_index(s, t, num_partitions)] += bytes;
         }
     }
-    loads
+    Ok(loads)
 }
 
 /// Max-over-mean load imbalance of a partition load vector (1.0 = perfect).
@@ -95,11 +152,11 @@ mod tests {
     fn naive_layout_camps_when_few_strips() {
         // 2 hot strips on 4 partitions: half the machine idles.
         let tile_bytes: Vec<Vec<u64>> = vec![vec![100; 8], vec![100; 8]];
-        let naive = partition_loads(Layout::StripPerPartition, &tile_bytes, 4);
+        let naive = partition_loads(Layout::StripPerPartition, &tile_bytes, 4).unwrap();
         assert_eq!(naive[2], 0);
         assert_eq!(naive[3], 0);
         assert!(imbalance(&naive) >= 2.0);
-        let rotated = partition_loads(Layout::TileRotated, &tile_bytes, 4);
+        let rotated = partition_loads(Layout::TileRotated, &tile_bytes, 4).unwrap();
         assert!(imbalance(&rotated) < imbalance(&naive));
         assert!(
             rotated.iter().all(|&l| l > 0),
@@ -113,8 +170,8 @@ mod tests {
         // tiles over all partitions.
         let tile_bytes: Vec<Vec<u64>> =
             vec![vec![1000; 16], vec![10; 16], vec![10; 16], vec![10; 16]];
-        let naive = imbalance(&partition_loads(Layout::StripPerPartition, &tile_bytes, 4));
-        let rot = imbalance(&partition_loads(Layout::TileRotated, &tile_bytes, 4));
+        let naive = imbalance(&partition_loads(Layout::StripPerPartition, &tile_bytes, 4).unwrap());
+        let rot = imbalance(&partition_loads(Layout::TileRotated, &tile_bytes, 4).unwrap());
         assert!(naive > 3.0, "naive {naive}");
         assert!(rot < 1.05, "rotated {rot}");
     }
@@ -124,12 +181,30 @@ mod tests {
         for layout in [Layout::StripPerPartition, Layout::TileRotated] {
             for s in 0..10 {
                 for t in 0..10 {
-                    let p = layout.partition_of(s, t, 4);
+                    let p = layout.partition_of(s, t, 4).unwrap();
                     assert!(p < 4);
-                    assert_eq!(p, layout.partition_of(s, t, 4));
+                    assert_eq!(p, layout.partition_of(s, t, 4).unwrap());
                 }
             }
         }
+    }
+
+    #[test]
+    fn degenerate_queries_error_instead_of_panicking() {
+        assert_eq!(
+            Layout::TileRotated.partition_of(0, 0, 0),
+            Err(PlacementError::NoPartitions)
+        );
+        let tile_bytes: Vec<Vec<u64>> = vec![vec![1]];
+        assert_eq!(
+            partition_loads(Layout::TileRotated, &tile_bytes, 0),
+            Err(PlacementError::NoPartitions)
+        );
+        let c = SwitchCost { lanes: 64 };
+        assert_eq!(
+            c.overhead_fraction(0, 24.0),
+            Err(PlacementError::ZeroSwitchGranularity)
+        );
     }
 
     #[test]
@@ -144,12 +219,12 @@ mod tests {
         // A typical non-zero DCSR tile row: rowidx + rowptr entry (8 B) and
         // a couple of elements (2 x 8 B) ≈ 24 B of useful payload.
         let c = SwitchCost { lanes: 64 };
-        let at64 = c.overhead_fraction(64, 24.0);
+        let at64 = c.overhead_fraction(64, 24.0).unwrap();
         assert!(at64 < 0.2, "overhead at 64 rows should be small: {at64}");
-        let at1 = c.overhead_fraction(1, 24.0);
+        let at1 = c.overhead_fraction(1, 24.0).unwrap();
         assert!(at1 > 1.0, "switching every row must be expensive: {at1}");
         // Monotone decreasing in the switch granularity.
-        assert!(c.overhead_fraction(128, 24.0) < at64);
+        assert!(c.overhead_fraction(128, 24.0).unwrap() < at64);
     }
 
     #[test]

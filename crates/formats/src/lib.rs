@@ -52,7 +52,7 @@ pub use dcsr::Dcsr;
 pub use dense::DenseMatrix;
 pub use error::FormatError;
 pub use storage::{size_ratio, StorageSize};
-pub use strips::{strip_count, strip_nonzero_row_fraction, StripStats};
+pub use strips::{strip_count, strip_nonzero_row_fraction, tile_count, StripStats};
 pub use tiled::{CsrStrip, DcsrTile, TiledCsr, TiledDcsr, DEFAULT_TILE};
 
 /// Row/column index type. 4 bytes, matching the paper's storage model where

@@ -8,9 +8,23 @@
 use crate::{Csr, SparseMatrix};
 
 /// Number of vertical strips of width `tile_w` needed to cover `ncols`.
+///
+/// This is the single definition of the *phantom-strip convention*: a
+/// degenerate matrix with `ncols == 0` still reports one (empty) strip, so
+/// every per-strip loop — the converter farm, the online kernel, the SSF
+/// model — runs at least once and produces well-formed (empty) output
+/// instead of special-casing emptiness at each call site.
 pub fn strip_count(ncols: usize, tile_w: usize) -> usize {
     assert!(tile_w > 0, "tile width must be positive");
     ncols.div_ceil(tile_w).max(1)
+}
+
+/// Number of horizontal tile bands of height `tile_h` needed to cover
+/// `nrows`. Same phantom convention as [`strip_count`]: `nrows == 0`
+/// still yields one (empty) band.
+pub fn tile_count(nrows: usize, tile_h: usize) -> usize {
+    assert!(tile_h > 0, "tile height must be positive");
+    nrows.div_ceil(tile_h).max(1)
 }
 
 /// For each strip of width `tile_w`, the fraction of matrix rows that have
@@ -119,6 +133,13 @@ mod tests {
         assert_eq!(strip_count(8, 4), 2);
         assert_eq!(strip_count(9, 4), 3);
         assert_eq!(strip_count(0, 4), 1);
+    }
+
+    #[test]
+    fn counts_tile_bands() {
+        assert_eq!(tile_count(8, 4), 2);
+        assert_eq!(tile_count(9, 4), 3);
+        assert_eq!(tile_count(0, 4), 1, "phantom band for empty matrices");
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl TiledCsr {
             });
         }
         let shape = csr.shape();
-        let nstrips = shape.ncols.div_ceil(tile_w).max(1);
+        let nstrips = crate::strip_count(shape.ncols, tile_w);
         let mut builders: Vec<(Vec<Index>, Vec<Index>, Vec<Value>)> = (0..nstrips)
             .map(|_| (Vec::with_capacity(shape.nrows + 1), Vec::new(), Vec::new()))
             .collect();
@@ -321,8 +321,8 @@ impl TiledDcsr {
             });
         }
         let shape = csr.shape();
-        let nstrips = shape.ncols.div_ceil(tile_w).max(1);
-        let ntiles = shape.nrows.div_ceil(tile_h).max(1);
+        let nstrips = crate::strip_count(shape.ncols, tile_w);
+        let ntiles = crate::tile_count(shape.nrows, tile_h);
         let mut strips: Vec<Vec<DcsrTile>> = (0..nstrips)
             .map(|s| {
                 (0..ntiles)

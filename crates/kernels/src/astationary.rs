@@ -20,7 +20,7 @@ pub fn astat_tiled(
     b: &DenseMatrix,
     tile: usize,
 ) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let tiled = TiledDcsr::from_csr(a, tile, tile).expect("tile dims validated by caller");

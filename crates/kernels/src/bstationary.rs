@@ -19,10 +19,10 @@
 use crate::device::{CscDevice, DenseDevice, TiledDcsrDevice, WORD};
 use crate::KernelRun;
 use nmt_engine::{
-    publish_conversion, publish_pipeline, simulate_strip, ConversionStats, PipelineConfig,
-    StripConverter,
+    convert_matrix_farm, publish_conversion, publish_farm, publish_pipeline, simulate_strip,
+    ConversionStats, FarmConfig, PipelineConfig, PipelineResult,
 };
-use nmt_formats::{Csc, DcsrTile, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
+use nmt_formats::{Csc, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
 use nmt_obs::ObsContext;
 use nmt_sim::{BlockCtx, Gpu, InstrClass, SimError, TrafficClass};
 
@@ -81,11 +81,20 @@ fn load_b_tile(
     }
 }
 
-fn check_dims(a_shape: nmt_formats::Shape, b: &DenseMatrix, tile_w: usize) {
-    assert_eq!(a_shape.ncols, b.nrows(), "inner dimensions must agree");
+fn check_dims(
+    a_shape: nmt_formats::Shape,
+    b: &DenseMatrix,
+    tile_w: usize,
+) -> Result<(), SimError> {
+    crate::check_inner_dims(a_shape.ncols, b.nrows())?;
     // The B tile (tile_w rows x K columns) must be a plausible shared-
     // memory resident; the launch itself enforces the hard capacity limit.
-    assert!(tile_w > 0, "tile width must be positive");
+    if tile_w == 0 {
+        return Err(SimError::ShapeMismatch {
+            detail: "tile width must be positive".into(),
+        });
+    }
+    Ok(())
 }
 
 /// B-stationary over offline-tiled **CSR** strips.
@@ -96,7 +105,7 @@ pub fn bstat_tiled_csr(
     tile_h: usize,
 ) -> Result<KernelRun, SimError> {
     let shape = tiled.shape();
-    check_dims(shape, b, tiled.tile_width());
+    check_dims(shape, b, tiled.tile_width())?;
     let n = shape.nrows;
     let k = b.ncols();
     let tile_w = tiled.tile_width();
@@ -111,7 +120,7 @@ pub fn bstat_tiled_csr(
     let c_dev = DenseDevice::upload(gpu, &DenseMatrix::zeros(n, k), TrafficClass::MatC);
 
     let mut c = DenseMatrix::zeros(n, k);
-    let tiles_per_strip = n.div_ceil(tile_h).max(1);
+    let tiles_per_strip = nmt_formats::tile_count(n, tile_h);
     // One thread block per strip: the B tile is loaded into shared memory
     // once and every tile of the strip streams past it (§3.1.1: "a tile
     // of B is loaded into the shared memory only once").
@@ -180,7 +189,7 @@ pub fn bstat_tiled_dcsr_offline(
     b: &DenseMatrix,
 ) -> Result<KernelRun, SimError> {
     let shape = tiled.shape();
-    check_dims(shape, b, tiled.tile_width());
+    check_dims(shape, b, tiled.tile_width())?;
     let n = shape.nrows;
     let k = b.ncols();
     let tile_w = tiled.tile_width();
@@ -264,7 +273,7 @@ pub fn bstat_tiled_dcsr_traversal(
     traversal: Traversal,
 ) -> Result<KernelRun, SimError> {
     let shape = tiled.shape();
-    check_dims(shape, b, tiled.tile_width());
+    check_dims(shape, b, tiled.tile_width())?;
     let n = shape.nrows;
     let k = b.ncols();
     let tile_w = tiled.tile_width();
@@ -385,26 +394,43 @@ pub fn bstat_tiled_dcsr_online_obs(
     obs: &ObsContext,
 ) -> Result<OnlineRun, SimError> {
     let shape = csc.shape();
-    check_dims(shape, b, tile_w);
+    check_dims(shape, b, tile_w)?;
     let n = shape.nrows;
     let k = b.ncols();
     let a_dev = CscDevice::upload(gpu, csc);
     let b_dev = DenseDevice::upload(gpu, b, TrafficClass::MatB);
     let c_dev = DenseDevice::upload(gpu, &DenseMatrix::zeros(n, k), TrafficClass::MatC);
 
-    // Pre-run the functional converters per strip (engine-side state).
-    let nstrips = shape.ncols.div_ceil(tile_w).max(1);
-    let tiles_per_strip = n.div_ceil(tile_h).max(1);
-    let mut tiles: Vec<Vec<DcsrTile>> = Vec::with_capacity(nstrips);
-    let mut engine = ConversionStats::default();
+    // Pre-run the functional converters: one engine per FB partition,
+    // strips sharded rayon-parallel across the farm (§6.1). The farm's
+    // reduction is partition-index-ordered, so `engine` and every obs
+    // counter below are byte-identical at any thread count.
+    let nstrips = nmt_formats::strip_count(shape.ncols, tile_w);
+    let tiles_per_strip = nmt_formats::tile_count(n, tile_h);
+    let farm_cfg = FarmConfig::for_partitions(gpu.config().num_partitions);
+    let farm = convert_matrix_farm(csc, tile_w, tile_h, farm_cfg)
+        .map_err(|e| SimError::BadConfig(e.to_string()))?;
+    let engine = farm.stats;
     {
         let mut convert_span = obs.span("engine.convert");
-        let pipe_cfg = PipelineConfig::paper_fp32(tile_w.clamp(1, 64));
-        for s in 0..nstrips {
+        // The discrete prefetch-pipeline model is priced per strip only
+        // when someone is watching; it does not change the run. It is pure
+        // per strip, so it runs in the same parallel fashion as the farm
+        // and publishes serially below in strip order.
+        let pipeline_runs: Vec<PipelineResult> = if obs.is_enabled() {
+            use rayon::prelude::*;
+            let pipe_cfg = PipelineConfig::paper_fp32(tile_w.clamp(1, 64));
+            (0..nstrips)
+                .into_par_iter()
+                .map(|s| simulate_strip(csc, s, &pipe_cfg))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Record spans and histograms serially, strips ascending: span
+        // parentage and histogram contents stay identical to a serial run.
+        for (s, st) in farm.per_strip.iter().enumerate() {
             let mut strip_span = obs.span("engine.convert.strip");
-            let mut conv = StripConverter::new(csc, s, tile_w);
-            tiles.push(conv.convert_strip(tile_h));
-            let st = conv.stats();
             strip_span.counter("strip", s as f64);
             strip_span.counter("elements", st.elements as f64);
             strip_span.counter("output_bytes", st.output_bytes as f64);
@@ -412,16 +438,15 @@ pub fn bstat_tiled_dcsr_online_obs(
             m.histogram_record("kernels.bstat_online.strip_elements", st.elements);
             m.histogram_record("kernels.bstat_online.strip_flops", 2 * k as u64 * st.elements);
             m.histogram_record("kernels.bstat_online.strip_stream_bytes", st.output_bytes);
-            engine.merge(&st);
-            if obs.is_enabled() {
-                // The discrete prefetch-pipeline model is priced per strip
-                // only when someone is watching; it does not change the run.
-                publish_pipeline(obs, &simulate_strip(csc, s, &pipe_cfg));
+            if let Some(pipe) = pipeline_runs.get(s) {
+                publish_pipeline(obs, pipe);
             }
         }
         convert_span.counter("strips", nstrips as f64);
     }
     publish_conversion(obs, &engine);
+    publish_farm(obs, &farm);
+    let tiles = farm.strips;
 
     let mut c = DenseMatrix::zeros(n, k);
     // One block per strip, exactly the device loop of Figure 11: the block

@@ -26,7 +26,7 @@ const WARPS_PER_BLOCK: usize = 8;
 /// et al.'s) beat, and it is why the paper's Figure 16 baseline loses to
 /// even the untiled custom kernels on most matrices.
 pub fn csrmm_cusparse(gpu: &mut Gpu, a: &Csr, b: &DenseMatrix) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let a_dev = CsrDevice::upload(gpu, a);
@@ -93,7 +93,7 @@ pub fn csrmm_cusparse(gpu: &mut Gpu, a: &Csr, b: &DenseMatrix) -> Result<KernelR
 /// access — its address comes from `colidx`, the §2 indirection), FMA into
 /// per-lane accumulators, then write the C row once.
 pub fn csrmm_row_per_warp(gpu: &mut Gpu, a: &Csr, b: &DenseMatrix) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let a_dev = CsrDevice::upload(gpu, a);
@@ -157,7 +157,7 @@ pub fn csrmm_row_per_thread(
     a: &Csr,
     b: &DenseMatrix,
 ) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let a_dev = CsrDevice::upload(gpu, a);
@@ -226,7 +226,7 @@ pub fn dcsrmm_row_per_warp(
     a: &Dcsr,
     b: &DenseMatrix,
 ) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let a_dev = DcsrDevice::upload(gpu, a);

@@ -41,6 +41,20 @@ pub use merge::csrmm_merge_based;
 use nmt_formats::DenseMatrix;
 use nmt_sim::KernelStats;
 
+/// Validate the inner dimensions of `C = A × B`, as a typed error instead
+/// of the old `assert!` so one malformed matrix becomes a per-matrix error
+/// row in a corpus sweep rather than aborting the whole process.
+pub(crate) fn check_inner_dims(a_ncols: usize, b_nrows: usize) -> Result<(), nmt_sim::SimError> {
+    if a_ncols != b_nrows {
+        return Err(nmt_sim::SimError::ShapeMismatch {
+            detail: format!(
+                "inner dimensions must agree: A has {a_ncols} cols, B has {b_nrows} rows"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Result of one simulated kernel: the functional output and the
 /// integrated hardware statistics.
 #[derive(Debug, Clone)]

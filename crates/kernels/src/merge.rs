@@ -25,7 +25,7 @@ const WARPS_PER_BLOCK: usize = 8;
 /// Merge-based C-stationary CSR SpMM: element-balanced warp assignment
 /// with atomic carry-out for rows that straddle warp boundaries.
 pub fn csrmm_merge_based(gpu: &mut Gpu, a: &Csr, b: &DenseMatrix) -> Result<KernelRun, SimError> {
-    assert_eq!(a.shape().ncols, b.nrows(), "inner dimensions must agree");
+    crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
     let nnz = a.nnz();

@@ -105,8 +105,66 @@ impl MatrixDesc {
     }
 }
 
+/// A descriptor that cannot be generated. Returned by [`try_generate`]
+/// so a malformed suite entry becomes a per-matrix error instead of a
+/// panic in the middle of a corpus sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatgenError {
+    /// `n` exceeds the `u32` index space of the formats crate.
+    DimensionTooLarge {
+        /// The offending dimension.
+        n: usize,
+    },
+    /// RMAT quadrant probabilities sum above 1.
+    BadRmatProbabilities {
+        /// Top-left quadrant probability.
+        a: f64,
+        /// Top-right quadrant probability.
+        b: f64,
+        /// Bottom-left quadrant probability.
+        c: f64,
+    },
+}
+
+impl std::fmt::Display for MatgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionTooLarge { n } => {
+                write!(f, "matrix dimension {n} exceeds the u32 index space")
+            }
+            Self::BadRmatProbabilities { a, b, c } => write!(
+                f,
+                "RMAT quadrant probabilities a={a} + b={b} + c={c} exceed 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatgenError {}
+
+/// Validate `desc` and generate its CSR matrix, reporting a malformed
+/// descriptor as a typed error rather than panicking.
+pub fn try_generate(desc: &MatrixDesc) -> Result<Csr, MatgenError> {
+    if desc.n > u32::MAX as usize {
+        return Err(MatgenError::DimensionTooLarge { n: desc.n });
+    }
+    if let GenKind::Rmat { a, b, c, .. } = desc.kind {
+        if a + b + c > 1.0 + 1e-9 {
+            return Err(MatgenError::BadRmatProbabilities { a, b, c });
+        }
+    }
+    Ok(generate_validated(desc))
+}
+
 /// Generate the CSR matrix described by `desc`.
+///
+/// Panics on a malformed descriptor; use [`try_generate`] where a bad
+/// entry must not abort the caller (e.g. corpus sweeps).
 pub fn generate(desc: &MatrixDesc) -> Csr {
+    try_generate(desc).expect("invalid matrix descriptor")
+}
+
+fn generate_validated(desc: &MatrixDesc) -> Csr {
     let mut rng = StdRng::seed_from_u64(desc.seed);
     let n = desc.n;
     let coo = match &desc.kind {
@@ -278,10 +336,7 @@ fn row_bursts(n: usize, density: f64, burst_len: usize, rng: &mut StdRng) -> Coo
 }
 
 fn rmat(n: usize, a: f64, b: f64, c: f64, edge_factor: usize, rng: &mut StdRng) -> Coo {
-    assert!(
-        a + b + c <= 1.0 + 1e-9,
-        "RMAT quadrant probabilities exceed 1"
-    );
+    // a + b + c <= 1 is checked by try_generate before we get here.
     let levels = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
     let side = 1usize << levels;
     let edges = n * edge_factor;

@@ -24,7 +24,7 @@ pub mod generators;
 pub mod perturb;
 pub mod suite;
 
-pub use generators::{generate, GenKind, MatrixDesc};
+pub use generators::{generate, try_generate, GenKind, MatgenError, MatrixDesc};
 pub use suite::{SuiteScale, SuiteSpec};
 
 use nmt_formats::DenseMatrix;

@@ -5,7 +5,7 @@
 //! synthetic suite mirrors that: a cross product of structural families,
 //! densities and dimensions, each seeded independently.
 
-use crate::generators::{generate, GenKind, MatrixDesc};
+use crate::generators::{try_generate, GenKind, MatgenError, MatrixDesc};
 use nmt_formats::Csr;
 use rayon::prelude::*;
 
@@ -167,11 +167,30 @@ impl SuiteSpec {
     }
 
     /// Generate every matrix in the suite in parallel.
+    ///
+    /// Panics on a malformed descriptor; the built-in suites are always
+    /// well-formed. Use [`try_build`](Self::try_build) when descriptors
+    /// come from elsewhere and a bad one must surface as a per-matrix
+    /// error.
     pub fn build(&self) -> Vec<(MatrixDesc, Csr)> {
+        self.try_build()
+            .into_iter()
+            .map(|(d, m)| {
+                let m = m.expect("built-in suite descriptors are well-formed");
+                (d, m)
+            })
+            .collect()
+    }
+
+    /// Generate every matrix in the suite in parallel, reporting each
+    /// malformed descriptor as a per-matrix error instead of panicking.
+    /// Output order matches [`descriptors`](Self::descriptors) regardless
+    /// of thread count.
+    pub fn try_build(&self) -> Vec<(MatrixDesc, Result<Csr, MatgenError>)> {
         self.descriptors()
             .into_par_iter()
             .map(|d| {
-                let m = generate(&d);
+                let m = try_generate(&d);
                 (d, m)
             })
             .collect()

@@ -106,7 +106,7 @@ impl SsfProfile {
             }
         }
 
-        let nstrips = shape.ncols.div_ceil(tile_w).max(1);
+        let nstrips = nmt_formats::strip_count(shape.ncols, tile_w);
         let mut sampled_nonempty = 0usize;
         let mut sampled_nnz = 0usize;
         let mut strip_hits = vec![0usize; nstrips];

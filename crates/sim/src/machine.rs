@@ -39,6 +39,13 @@ pub enum SimError {
         /// Buffer length.
         len: u64,
     },
+    /// Operand shapes (or tile dims) are inconsistent with the requested
+    /// kernel. Replaces the old `assert!`s in kernel entry points so a
+    /// single malformed matrix cannot abort a whole corpus sweep.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -54,6 +61,7 @@ impl std::fmt::Display for SimError {
             SimError::OutOfBounds { offset, len } => {
                 write!(f, "buffer access at offset {offset} beyond length {len}")
             }
+            SimError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
         }
     }
 }

@@ -5,11 +5,11 @@
 //! ```text
 //! nmt-cli profile <file.mtx> [--tile N]
 //! nmt-cli convert <file.mtx> [--tile N]
-//! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
+//! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
 //!                 [--trace-out <trace.json>] [--metrics-json <metrics.json>]
-//! nmt-cli audit   <file.mtx> [--k N] [--tile N] [--json]
+//! nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
 //!                 [--metrics-json <metrics.json>]
-//! nmt-cli bench   [--scale small|medium|paper] [--out <BENCH.json>]
+//! nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
 //!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
@@ -69,24 +69,28 @@ const USAGE: &str = "nmt-cli — near-memory-transform SpMM toolkit
 USAGE:
   nmt-cli profile <file.mtx> [--tile N]   SSF profile + algorithm recommendation
   nmt-cli convert <file.mtx> [--tile N]   run the CSC->tiled-DCSR engine model
-  nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--json]
+  nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
                   [--trace-out <trace.json>] [--metrics-json <metrics.json>]
                                           simulate auto-tuned SpMM vs baseline;
                                           --trace-out writes a Chrome/Perfetto
                                           trace, --metrics-json the metric
                                           registry snapshot
-  nmt-cli audit   <file.mtx> [--k N] [--tile N] [--json]
+  nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
                   [--metrics-json <metrics.json>]
                                           explain the planner's decision:
                                           SSF inputs, chosen vs oracle
                                           dataflow, and Table-1 predicted
                                           vs measured traffic per operand
-  nmt-cli bench   [--scale small|medium|paper] [--out <BENCH.json>]
+  nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
                   [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
                                           sweep the synthetic suite into a
                                           schema-versioned run ledger; with
                                           --baseline, gate against it and
                                           fail on regression
+                                          (--threads sizes the worker pool;
+                                          default: RAYON_NUM_THREADS or the
+                                          core count — results are identical
+                                          at any thread count)
   nmt-cli suite   [--scale small|medium|paper]
                                           enumerate the synthetic suite
   nmt-cli help                            this message";
@@ -103,6 +107,20 @@ fn parse_flag<T: std::str::FromStr>(rest: &[&String], name: &str, default: T) ->
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
     }
+}
+
+/// Apply `--threads N`: size the global rayon pool before any parallel
+/// work runs. `0` (or omitting the flag) keeps the default — the
+/// `RAYON_NUM_THREADS` environment variable if set, else the core count.
+fn init_threads(rest: &[&String]) -> Result<(), String> {
+    let threads: usize = parse_flag(rest, "--threads", 0)?;
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .map_err(|e| format!("cannot configure {threads}-thread pool: {e}"))?;
+    }
+    Ok(())
 }
 
 fn load(rest: &[&String]) -> Result<Csr, String> {
@@ -182,6 +200,7 @@ fn cmd_convert(rest: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
+    init_threads(rest)?;
     let k: usize = parse_flag(rest, "--k", 64)?;
     let tile: usize = parse_flag(rest, "--tile", 64)?;
     let trace_out = flag(rest, "--trace-out");
@@ -249,6 +268,7 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_audit(rest: &[&String]) -> Result<(), String> {
+    init_threads(rest)?;
     let k: usize = parse_flag(rest, "--k", 64)?;
     let tile: usize = parse_flag(rest, "--tile", 64)?;
     let metrics_json = flag(rest, "--metrics-json");
@@ -276,6 +296,7 @@ fn cmd_audit(rest: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_bench(rest: &[&String]) -> Result<(), String> {
+    init_threads(rest)?;
     let scale = match flag(rest, "--scale") {
         None => SuiteScale::Small,
         Some(v) => parse_scale(&v)?,

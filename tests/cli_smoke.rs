@@ -158,7 +158,10 @@ fn bench_subcommand_writes_ledger_and_gates() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("geomean"));
     let json = std::fs::read_to_string(&ledger_path).expect("ledger written");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    assert_eq!(parsed["schema_version"].as_u64(), Some(1));
+    assert_eq!(
+        parsed["schema_version"].as_u64(),
+        Some(u64::from(spmm_nmt::bench::LEDGER_SCHEMA_VERSION))
+    );
     assert!(parsed["summary"]["geomean_speedup"].as_f64().expect("geomean") > 0.0);
 
     // Gating against the ledger we just wrote passes...

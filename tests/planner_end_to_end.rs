@@ -191,3 +191,23 @@ fn planner_handles_empty_matrix() {
     let reference = host::spmm_csr(&a, &b);
     assert!(reference.as_slice().iter().all(|&v| v == 0.0));
 }
+
+#[test]
+fn planner_handles_zero_dimension_matrix() {
+    // ncols == 0 exercises the phantom-strip convention end to end:
+    // `strip_count` reports one empty strip, the engine converts it to
+    // nothing, and the planner still produces a coherent report.
+    let a = spmm_nmt::formats::Csr::new(0, 0, vec![0], vec![], vec![]).expect("zero-dim");
+    let b = spmm_nmt::formats::DenseMatrix::zeros(0, 8);
+    let report = planner().execute(&a, &b).expect("zero-dim matrix plans");
+    assert_eq!(report.stats.flops, 0, "no dimensions means no FP work");
+
+    // The engine side of the same convention: one phantom strip holding
+    // one phantom (empty) tile, mirroring `strip_count`/`tile_count`.
+    let csc = a.to_csc();
+    let (strips, stats) = spmm_nmt::engine::convert_matrix(&csc, 16, 16);
+    assert_eq!(strips.len(), 1, "zero-width matrix still owns one strip");
+    assert_eq!(strips[0].len(), 1, "zero-height strip still owns one tile");
+    assert_eq!(strips[0][0].nnz(), 0);
+    assert_eq!(stats.elements, 0);
+}
