@@ -25,7 +25,7 @@ fn bench_comparator(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Elements(lanes as u64));
         group.bench_with_input(BenchmarkId::new("find_min", lanes), &coords, |b, cs| {
-            b.iter(|| black_box(tree.find_min(cs)))
+            b.iter(|| black_box(tree.find_min(cs)));
         });
     }
     group.finish();
@@ -43,13 +43,13 @@ fn bench_conversion(c: &mut Criterion) {
         let csc = csr.to_csc();
         group.throughput(Throughput::Elements(csc.nnz() as u64));
         group.bench_with_input(BenchmarkId::new("convert_matrix_64x64", n), &csc, |b, m| {
-            b.iter(|| black_box(convert_matrix(m, 64, 64)))
+            b.iter(|| black_box(convert_matrix(m, 64, 64)));
         });
         group.bench_with_input(BenchmarkId::new("single_strip", n), &csc, |b, m| {
             b.iter(|| {
                 let mut conv = StripConverter::new(m, 0, 64);
                 black_box(conv.convert_strip(64))
-            })
+            });
         });
     }
     group.finish();

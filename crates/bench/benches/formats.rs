@@ -26,20 +26,20 @@ fn bench_conversions(c: &mut Criterion) {
         group.throughput(Throughput::Elements(nnz));
 
         group.bench_with_input(BenchmarkId::new("csr_to_csc", n), &csr, |b, m| {
-            b.iter(|| black_box(m.to_csc()))
+            b.iter(|| black_box(m.to_csc()));
         });
         group.bench_with_input(BenchmarkId::new("csr_to_dcsr", n), &csr, |b, m| {
-            b.iter(|| black_box(Dcsr::from_csr(m)))
+            b.iter(|| black_box(Dcsr::from_csr(m)));
         });
         group.bench_with_input(BenchmarkId::new("csr_to_tiled_csr64", n), &csr, |b, m| {
-            b.iter(|| black_box(TiledCsr::from_csr(m, 64).unwrap()))
+            b.iter(|| black_box(TiledCsr::from_csr(m, 64).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("csr_to_tiled_dcsr64", n), &csr, |b, m| {
-            b.iter(|| black_box(TiledDcsr::from_csr(m, 64, 64).unwrap()))
+            b.iter(|| black_box(TiledDcsr::from_csr(m, 64, 64).unwrap()));
         });
         let coo = csr.to_coo();
         group.bench_with_input(BenchmarkId::new("coo_to_csr", n), &coo, |b, m| {
-            b.iter(|| black_box(Csr::from_coo(m)))
+            b.iter(|| black_box(Csr::from_coo(m)));
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_strip_stats(c: &mut Criterion) {
     let csr = test_matrix(4096, 0.01);
     group.throughput(Throughput::Elements(csr.nnz() as u64));
     group.bench_function("strip_nonzero_fraction_w64", |b| {
-        b.iter(|| black_box(nmt_formats::strip_nonzero_row_fraction(&csr, 64)))
+        b.iter(|| black_box(nmt_formats::strip_nonzero_row_fraction(&csr, 64)));
     });
     group.finish();
 }

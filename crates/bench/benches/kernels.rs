@@ -26,19 +26,19 @@ fn bench_host_kernels(c: &mut Criterion) {
     group.throughput(Throughput::Elements(flops));
 
     group.bench_function(BenchmarkId::new("csr", n), |bch| {
-        bch.iter(|| black_box(host::spmm_csr(&a, &b)))
+        bch.iter(|| black_box(host::spmm_csr(&a, &b)));
     });
     let csc = a.to_csc();
     group.bench_function(BenchmarkId::new("csc", n), |bch| {
-        bch.iter(|| black_box(host::spmm_csc(&csc, &b)))
+        bch.iter(|| black_box(host::spmm_csc(&csc, &b)));
     });
     let dcsr = Dcsr::from_csr(&a);
     group.bench_function(BenchmarkId::new("dcsr", n), |bch| {
-        bch.iter(|| black_box(host::spmm_dcsr(&dcsr, &b)))
+        bch.iter(|| black_box(host::spmm_dcsr(&dcsr, &b)));
     });
     let tiled = TiledDcsr::from_csr(&a, 64, 64).unwrap();
     group.bench_function(BenchmarkId::new("tiled_dcsr", n), |bch| {
-        bch.iter(|| black_box(host::spmm_tiled_dcsr(&tiled, &b)))
+        bch.iter(|| black_box(host::spmm_tiled_dcsr(&tiled, &b)));
     });
     group.finish();
 }
@@ -61,14 +61,14 @@ fn bench_simulated_kernels(c: &mut Criterion) {
         bch.iter(|| {
             let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
             black_box(csrmm_row_per_warp(&mut gpu, &a, &b).unwrap())
-        })
+        });
     });
     let csc = a.to_csc();
     group.bench_function("online_tiled_dcsr", |bch| {
         bch.iter(|| {
             let mut gpu = Gpu::new(GpuConfig::test_small()).unwrap();
             black_box(bstat_tiled_dcsr_online(&mut gpu, &csc, &b, 16, 16).unwrap())
-        })
+        });
     });
     group.finish();
 }

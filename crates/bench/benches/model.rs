@@ -24,10 +24,10 @@ fn bench_profiling(c: &mut Criterion) {
         ));
         group.throughput(Throughput::Elements(a.nnz() as u64));
         group.bench_with_input(BenchmarkId::new("ssf_profile_w64", n), &a, |b, m| {
-            b.iter(|| black_box(SsfProfile::compute(m, 64)))
+            b.iter(|| black_box(SsfProfile::compute(m, 64)));
         });
         group.bench_with_input(BenchmarkId::new("entropy_w64", n), &a, |b, m| {
-            b.iter(|| black_box(normalized_entropy(m, 64)))
+            b.iter(|| black_box(normalized_entropy(m, 64)));
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_threshold_learning(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("learn_threshold_4000pts", |b| {
-        b.iter(|| black_box(learn_threshold(&points)))
+        b.iter(|| black_box(learn_threshold(&points)));
     });
 }
 
@@ -54,7 +54,7 @@ fn bench_traffic_model(c: &mut Criterion) {
         29,
     ));
     c.bench_function("traffic_model_measure", |b| {
-        b.iter(|| black_box(TrafficModel::measure(&a, 64)))
+        b.iter(|| black_box(TrafficModel::measure(&a, 64)));
     });
 }
 

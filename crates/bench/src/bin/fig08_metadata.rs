@@ -56,11 +56,11 @@ fn main() {
     println!("geomean metadata ratio (CSR/DCSR): {:.1}x", geomean(&metas));
     println!(
         "max                              : {:.1}x",
-        metas.iter().cloned().fold(0.0, f64::max)
+        metas.iter().copied().fold(0.0, f64::max)
     );
     println!(
         "min                              : {:.2}x",
-        metas.iter().cloned().fold(f64::INFINITY, f64::min)
+        metas.iter().copied().fold(f64::INFINITY, f64::min)
     );
     println!("paper: tiled DCSR commonly has orders-of-magnitude smaller");
     println!("footprint than tiled CSR, except matrices with many non-zero");

@@ -42,7 +42,7 @@ fn main() {
     println!("mean tiledDCSR/CSR (meta+data): {:.2}x", mean(&totals));
     println!(
         "max                           : {:.2}x",
-        totals.iter().cloned().fold(0.0, f64::max)
+        totals.iter().copied().fold(0.0, f64::max)
     );
     println!("paper: \"tiled DCSR has 1.3-1.4X (2X at the maximum) storage");
     println!("overhead for tiling\" — the cost the online engine avoids.");

@@ -101,6 +101,7 @@ pub fn experiment_gpu(scale: SuiteScale) -> nmt_sim::GpuConfig {
             gpu.kernel_overhead_ns = 5_000.0;
         }
     }
+    // nmt-lint: allow(panic) — the preset only rescales cache/overhead fields, which stay valid
     gpu.validate().expect("scaled GV100 remains valid");
     gpu
 }
@@ -138,7 +139,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{s}");
     };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&headers.iter().map(std::string::ToString::to_string).collect::<Vec<_>>());
     line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);

@@ -10,7 +10,7 @@
 use nmt_engine::placement::Layout;
 use nmt_engine::{ConversionStats, StripConverter};
 use nmt_formats::{Csc, DcsrTile, SparseMatrix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// One `GetDCSRTile` request (the arguments of Figure 11 that matter to
@@ -55,9 +55,9 @@ pub struct ConversionQueue<'a> {
     queues: Vec<VecDeque<GetDcsrTileRequest>>,
     /// Live converters keyed by strip (state survives across tiles —
     /// the stateful frontier that makes sequential access free).
-    converters: HashMap<usize, StripConverter<'a>>,
+    converters: BTreeMap<usize, StripConverter<'a>>,
     /// Tracks each converter's expected next sequential row.
-    next_row: HashMap<usize, u32>,
+    next_row: BTreeMap<usize, u32>,
 }
 
 impl<'a> ConversionQueue<'a> {
@@ -77,8 +77,8 @@ impl<'a> ConversionQueue<'a> {
             layout,
             num_partitions,
             queues: (0..num_partitions).map(|_| VecDeque::new()).collect(),
-            converters: HashMap::new(),
-            next_row: HashMap::new(),
+            converters: BTreeMap::new(),
+            next_row: BTreeMap::new(),
         }
     }
 
@@ -87,6 +87,7 @@ impl<'a> ConversionQueue<'a> {
         let tile_index = req.row_start as usize / self.tile_h;
         self.layout
             .partition_of(req.strip_id, tile_index, self.num_partitions)
+            // nmt-lint: allow(panic) — `new` asserts num_partitions > 0, the only None case
             .expect("queue constructor enforces num_partitions > 0")
     }
 
@@ -156,7 +157,7 @@ impl<'a> ConversionQueue<'a> {
                 let before = self
                     .converters
                     .get(&req.strip_id)
-                    .map(|c| c.stats())
+                    .map(nmt_engine::StripConverter::stats)
                     .unwrap_or_default();
                 let resp = self.serve(req);
                 let after = self.converters[&req.strip_id].stats();
@@ -330,7 +331,7 @@ mod timed_tests {
         submit_all(&mut rotated);
         let (responses, rot_busy) = rotated.drain_timed(&timing);
 
-        let max = |v: &Vec<f64>| v.iter().cloned().fold(0.0f64, f64::max);
+        let max = |v: &Vec<f64>| v.iter().copied().fold(0.0f64, f64::max);
         // The hot strip's work lands on one server under the naive layout;
         // rotation spreads it, shrinking the makespan.
         assert!(

@@ -267,6 +267,7 @@ impl DecisionAudit {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
+        // nmt-lint: allow(panic) — serializing a plain data struct cannot fail
         serde_json::to_string_pretty(self).expect("audit serializes")
     }
 }

@@ -84,6 +84,7 @@ impl RunRecord {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
+        // nmt-lint: allow(panic) — serializing a plain data struct cannot fail
         serde_json::to_string_pretty(self).expect("record serializes")
     }
 }
@@ -134,6 +135,7 @@ impl SuiteReport {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
+        // nmt-lint: allow(panic) — serializing a plain data struct cannot fail
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 

@@ -101,6 +101,7 @@ impl ComparatorTree {
                 next.push(match pair {
                     [a] => *a,
                     [a, b] => two_input_unit(*a, *b),
+                    // nmt-lint: allow(panic) — chunks(2) yields only 1- or 2-element slices
                     _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
                 });
             }

@@ -165,8 +165,11 @@ pub fn convert_matrix_farm(
         let mut strip_total = ConversionStats::default();
         for (t, delta) in out.per_tile.iter().enumerate() {
             let p = config.layout.partition_index(s, t, config.partitions);
-            per_partition[p].tiles += 1;
-            per_partition[p].stats.merge(delta);
+            // partition_index reduces modulo `partitions`, so `p` is in range.
+            if let Some(slot) = per_partition.get_mut(p) {
+                slot.tiles += 1;
+                slot.stats.merge(delta);
+            }
             strip_total.merge(delta);
             total.merge(delta);
             if prev_partition.is_some_and(|prev| prev != p) {

@@ -189,19 +189,19 @@ pub fn simulate_strip(csc: &Csc, strip_id: usize, config: &PipelineConfig) -> Pi
                 })
                 .min_by_key(|l| l.fifo.len() + l.in_flight.len())
             {
-                let coord = lane.remaining.pop_front().expect("checked non-empty");
-                lane.in_flight
-                    .push_back((cycle + config.refill_latency_cycles as u64, coord));
+                if let Some(coord) = lane.remaining.pop_front() {
+                    lane.in_flight
+                        .push_back((cycle + config.refill_latency_cycles as u64, coord));
+                }
             }
         }
         // 2. Arrivals: requests whose latency elapsed land in the FIFO.
         for lane in &mut lanes {
-            while lane
-                .in_flight
-                .front()
-                .is_some_and(|&(ready, _)| ready <= cycle)
-            {
-                let (_, coord) = lane.in_flight.pop_front().expect("front checked");
+            while let Some(&(ready, coord)) = lane.in_flight.front() {
+                if ready > cycle {
+                    break;
+                }
+                lane.in_flight.pop_front();
                 lane.fifo.push_back(coord);
             }
         }

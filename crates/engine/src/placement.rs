@@ -140,7 +140,7 @@ pub fn imbalance(loads: &[u64]) -> f64 {
         return 1.0;
     }
     let mean = total as f64 / loads.len() as f64;
-    let max = *loads.iter().max().expect("non-empty") as f64;
+    let max = loads.iter().max().copied().unwrap_or(0) as f64;
     max / mean
 }
 

@@ -24,9 +24,8 @@ pub struct Csc {
 }
 
 impl Csc {
-    /// Build from raw arrays, validating every CSC invariant (mirror image
-    /// of the CSR invariants: monotone `colptr`, bounded and strictly
-    /// increasing row indices within each column).
+    /// Build from raw arrays, checking every CSC invariant via
+    /// [`Csc::validate`] (mirror image of the CSR invariants).
     pub fn new(
         nrows: usize,
         ncols: usize,
@@ -34,52 +33,89 @@ impl Csc {
         rowidx: Vec<Index>,
         values: Vec<Value>,
     ) -> Result<Self, FormatError> {
-        check_dims(nrows, ncols)?;
-        if colptr.len() != ncols + 1 {
+        let m = Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Build without per-call validation. Callers guarantee the invariants
+    /// structurally (counting transposes); debug builds re-check them at
+    /// every conversion boundary.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<Index>,
+        rowidx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Self {
+        let m = Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        };
+        debug_assert!(
+            m.validate().is_ok(),
+            "unchecked CSC constructor violated invariants: {:?}",
+            m.validate().err()
+        );
+        m
+    }
+
+    /// Check every structural CSC invariant: monotone `colptr` spanning
+    /// `0..nnz`, bounded and strictly increasing row indices within each
+    /// column, and matching `rowidx`/`values` lengths.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        check_dims(self.nrows, self.ncols)?;
+        if self.colptr.len() != self.ncols + 1 {
             return Err(FormatError::LengthMismatch {
-                expected: ncols + 1,
-                found: colptr.len(),
+                expected: self.ncols + 1,
+                found: self.colptr.len(),
                 name: "colptr",
             });
         }
-        if rowidx.len() != values.len() {
+        if self.rowidx.len() != self.values.len() {
             return Err(FormatError::LengthMismatch {
-                expected: rowidx.len(),
-                found: values.len(),
+                expected: self.rowidx.len(),
+                found: self.values.len(),
                 name: "values",
             });
         }
-        if colptr.first() != Some(&0) {
+        if self.colptr.first() != Some(&0) {
             return Err(FormatError::MalformedPointerArray {
                 name: "colptr",
                 detail: "must start at 0".into(),
             });
         }
-        if *colptr.last().unwrap() as usize != rowidx.len() {
+        let last = self.colptr.last().copied().unwrap_or(0);
+        if last as usize != self.rowidx.len() {
             return Err(FormatError::MalformedPointerArray {
                 name: "colptr",
-                detail: format!(
-                    "last entry {} must equal nnz {}",
-                    colptr.last().unwrap(),
-                    rowidx.len()
-                ),
+                detail: format!("last entry {} must equal nnz {}", last, self.rowidx.len()),
             });
         }
-        if colptr.windows(2).any(|w| w[0] > w[1]) {
+        if self.colptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::MalformedPointerArray {
                 name: "colptr",
                 detail: "must be non-decreasing".into(),
             });
         }
-        for c in 0..ncols {
-            let (lo, hi) = (colptr[c] as usize, colptr[c + 1] as usize);
-            let col_rows = &rowidx[lo..hi];
+        for (c, w) in self.colptr.windows(2).enumerate() {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let col_rows = &self.rowidx[lo..hi];
             for &r in col_rows {
-                if r as usize >= nrows {
+                if r as usize >= self.nrows {
                     return Err(FormatError::IndexOutOfBounds {
                         axis: "row",
                         index: r,
-                        bound: nrows,
+                        bound: self.nrows,
                     });
                 }
             }
@@ -89,13 +125,7 @@ impl Csc {
                 });
             }
         }
-        Ok(Self {
-            nrows,
-            ncols,
-            colptr,
-            rowidx,
-            values,
-        })
+        Ok(())
     }
 
     /// Build from a COO matrix.
@@ -166,8 +196,7 @@ impl Csc {
             values[slot] = v;
             cursor[r as usize] += 1;
         }
-        Csr::new(self.nrows, self.ncols, rowptr, colidx, values)
-            .expect("counting transpose preserves CSR invariants")
+        Csr::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values)
     }
 
     /// Convert to COO in column-major order.
@@ -177,6 +206,7 @@ impl Csc {
             .map(|(r, c, v)| CooEntry::new(r, c, v))
             .collect();
         Coo::from_entries(self.nrows, self.ncols, entries)
+            // nmt-lint: allow(panic) — column-major iteration over a valid CSC yields valid entries
             .expect("CSC invariants guarantee valid COO entries")
     }
 

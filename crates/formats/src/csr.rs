@@ -19,10 +19,8 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Build from raw arrays, validating every CSR invariant:
-    /// * `rowptr.len() == nrows + 1`, starts at 0, ends at nnz, monotone;
-    /// * `colidx.len() == values.len() == nnz`, all indices `< ncols`;
-    /// * within each row, columns strictly increase (canonical form).
+    /// Build from raw arrays, checking every CSR invariant via
+    /// [`Csr::validate`].
     pub fn new(
         nrows: usize,
         ncols: usize,
@@ -30,52 +28,90 @@ impl Csr {
         colidx: Vec<Index>,
         values: Vec<Value>,
     ) -> Result<Self, FormatError> {
-        check_dims(nrows, ncols)?;
-        if rowptr.len() != nrows + 1 {
+        let m = Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Build without per-call validation. Callers guarantee the invariants
+    /// structurally (counting transposes, canonical-order rebuilds); debug
+    /// builds re-check them at every conversion boundary.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<Index>,
+        colidx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Self {
+        let m = Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        };
+        debug_assert!(
+            m.validate().is_ok(),
+            "unchecked CSR constructor violated invariants: {:?}",
+            m.validate().err()
+        );
+        m
+    }
+
+    /// Check every structural CSR invariant:
+    /// * `rowptr.len() == nrows + 1`, starts at 0, ends at nnz, monotone;
+    /// * `colidx.len() == values.len() == nnz`, all indices `< ncols`;
+    /// * within each row, columns strictly increase (canonical form).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        check_dims(self.nrows, self.ncols)?;
+        if self.rowptr.len() != self.nrows + 1 {
             return Err(FormatError::LengthMismatch {
-                expected: nrows + 1,
-                found: rowptr.len(),
+                expected: self.nrows + 1,
+                found: self.rowptr.len(),
                 name: "rowptr",
             });
         }
-        if colidx.len() != values.len() {
+        if self.colidx.len() != self.values.len() {
             return Err(FormatError::LengthMismatch {
-                expected: colidx.len(),
-                found: values.len(),
+                expected: self.colidx.len(),
+                found: self.values.len(),
                 name: "values",
             });
         }
-        if rowptr.first() != Some(&0) {
+        if self.rowptr.first() != Some(&0) {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
                 detail: "must start at 0".into(),
             });
         }
-        if *rowptr.last().unwrap() as usize != colidx.len() {
+        let last = self.rowptr.last().copied().unwrap_or(0);
+        if last as usize != self.colidx.len() {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
-                detail: format!(
-                    "last entry {} must equal nnz {}",
-                    rowptr.last().unwrap(),
-                    colidx.len()
-                ),
+                detail: format!("last entry {} must equal nnz {}", last, self.colidx.len()),
             });
         }
-        if rowptr.windows(2).any(|w| w[0] > w[1]) {
+        if self.rowptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
                 detail: "must be non-decreasing".into(),
             });
         }
-        for r in 0..nrows {
-            let (lo, hi) = (rowptr[r] as usize, rowptr[r + 1] as usize);
-            let row_cols = &colidx[lo..hi];
+        for (r, w) in self.rowptr.windows(2).enumerate() {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let row_cols = &self.colidx[lo..hi];
             for &c in row_cols {
-                if c as usize >= ncols {
+                if c as usize >= self.ncols {
                     return Err(FormatError::IndexOutOfBounds {
                         axis: "col",
                         index: c,
-                        bound: ncols,
+                        bound: self.ncols,
                     });
                 }
             }
@@ -85,13 +121,7 @@ impl Csr {
                 });
             }
         }
-        Ok(Self {
-            nrows,
-            ncols,
-            rowptr,
-            colidx,
-            values,
-        })
+        Ok(())
     }
 
     /// Build from a COO matrix (a canonicalized copy is made as needed).
@@ -119,13 +149,7 @@ impl Csr {
             colidx.push(e.col);
             values.push(e.val);
         }
-        Self {
-            nrows: shape.nrows,
-            ncols: shape.ncols,
-            rowptr,
-            colidx,
-            values,
-        }
+        Self::from_parts_unchecked(shape.nrows, shape.ncols, rowptr, colidx, values)
     }
 
     /// Row pointer array (`nrows + 1` entries).
@@ -188,6 +212,7 @@ impl Csr {
             .map(|(r, c, v)| CooEntry::new(r, c, v))
             .collect();
         Coo::from_entries(self.nrows, self.ncols, entries)
+            // nmt-lint: allow(panic) — row-major iteration over a valid CSR yields valid entries
             .expect("CSR invariants guarantee valid COO entries")
     }
 
@@ -210,21 +235,20 @@ impl Csr {
             values[slot] = v;
             cursor[c as usize] += 1;
         }
-        Csc::new(self.nrows, self.ncols, colptr, rowidx, values)
-            .expect("counting transpose preserves CSC invariants")
+        Csc::from_parts_unchecked(self.nrows, self.ncols, colptr, rowidx, values)
     }
 
     /// Transposed copy (rows become columns), still in CSR.
     pub fn transpose(&self) -> Csr {
         // The CSC of A laid over swapped dimensions *is* the CSR of Aᵀ.
         let csc = self.to_csc();
-        Csr {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            rowptr: csc.colptr().to_vec(),
-            colidx: csc.rowidx().to_vec(),
-            values: csc.values().to_vec(),
-        }
+        Csr::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            csc.colptr().to_vec(),
+            csc.rowidx().to_vec(),
+            csc.values().to_vec(),
+        )
     }
 
     /// Densify (for small test matrices).

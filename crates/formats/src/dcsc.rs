@@ -149,14 +149,13 @@ impl Dcsc {
         for i in 0..self.ncols {
             colptr[i + 1] += colptr[i];
         }
-        Csc::new(
+        Csc::from_parts_unchecked(
             self.nrows,
             self.ncols,
             colptr,
             self.rowidx.clone(),
             self.values.clone(),
         )
-        .expect("DCSC invariants guarantee a valid CSC expansion")
     }
 
     /// Non-empty column indices (`n_nnzcol` entries).

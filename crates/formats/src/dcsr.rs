@@ -29,7 +29,8 @@ pub struct Dcsr {
 }
 
 impl Dcsr {
-    /// Build from raw arrays, validating all DCSR invariants.
+    /// Build from raw arrays, checking all DCSR invariants via
+    /// [`Dcsr::validate`].
     pub fn new(
         nrows: usize,
         ncols: usize,
@@ -38,63 +39,106 @@ impl Dcsr {
         colidx: Vec<Index>,
         values: Vec<Value>,
     ) -> Result<Self, FormatError> {
-        check_dims(nrows, ncols)?;
-        if rowptr.len() != rowidx.len() + 1 {
+        let m = Self {
+            nrows,
+            ncols,
+            rowidx,
+            rowptr,
+            colidx,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Build without per-call validation. Callers guarantee the invariants
+    /// structurally (densification of an already-valid CSR); debug builds
+    /// re-check them at every conversion boundary.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowidx: Vec<Index>,
+        rowptr: Vec<Index>,
+        colidx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Self {
+        let m = Self {
+            nrows,
+            ncols,
+            rowidx,
+            rowptr,
+            colidx,
+            values,
+        };
+        debug_assert!(
+            m.validate().is_ok(),
+            "unchecked DCSR constructor violated invariants: {:?}",
+            m.validate().err()
+        );
+        m
+    }
+
+    /// Check every structural DCSR invariant: strictly increasing in-bounds
+    /// `rowidx`, strictly increasing `rowptr` spanning `0..nnz` (densified
+    /// rows may not be empty), sorted in-bounds columns per row.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        check_dims(self.nrows, self.ncols)?;
+        if self.rowptr.len() != self.rowidx.len() + 1 {
             return Err(FormatError::LengthMismatch {
-                expected: rowidx.len() + 1,
-                found: rowptr.len(),
+                expected: self.rowidx.len() + 1,
+                found: self.rowptr.len(),
                 name: "rowptr",
             });
         }
-        if colidx.len() != values.len() {
+        if self.colidx.len() != self.values.len() {
             return Err(FormatError::LengthMismatch {
-                expected: colidx.len(),
-                found: values.len(),
+                expected: self.colidx.len(),
+                found: self.values.len(),
                 name: "values",
             });
         }
-        if rowptr.first().copied().unwrap_or(0) != 0 {
+        if self.rowptr.first().copied().unwrap_or(0) != 0 {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
                 detail: "must start at 0".into(),
             });
         }
-        if rowptr.last().copied().unwrap_or(0) as usize != colidx.len() {
+        if self.rowptr.last().copied().unwrap_or(0) as usize != self.colidx.len() {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
                 detail: "last entry must equal nnz".into(),
             });
         }
         // Every densified row must be non-empty: strictly increasing rowptr.
-        if rowptr.windows(2).any(|w| w[0] >= w[1]) && !colidx.is_empty() {
+        if self.rowptr.windows(2).any(|w| w[0] >= w[1]) && !self.colidx.is_empty() {
             return Err(FormatError::MalformedPointerArray {
                 name: "rowptr",
                 detail: "densified rows must be non-empty (strictly increasing rowptr)".into(),
             });
         }
-        if rowidx.windows(2).any(|w| w[0] >= w[1]) {
+        if self.rowidx.windows(2).any(|w| w[0] >= w[1]) {
             return Err(FormatError::NotCanonical {
                 detail: "rowidx must be strictly increasing".into(),
             });
         }
-        if let Some(&last) = rowidx.last() {
-            if last as usize >= nrows {
+        if let Some(&last) = self.rowidx.last() {
+            if last as usize >= self.nrows {
                 return Err(FormatError::IndexOutOfBounds {
                     axis: "row",
                     index: last,
-                    bound: nrows,
+                    bound: self.nrows,
                 });
             }
         }
-        for (i, _) in rowidx.iter().enumerate() {
-            let (lo, hi) = (rowptr[i] as usize, rowptr[i + 1] as usize);
-            let row_cols = &colidx[lo..hi];
+        for (i, w) in self.rowptr.windows(2).enumerate() {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let row_cols = &self.colidx[lo..hi];
             for &c in row_cols {
-                if c as usize >= ncols {
+                if c as usize >= self.ncols {
                     return Err(FormatError::IndexOutOfBounds {
                         axis: "col",
                         index: c,
-                        bound: ncols,
+                        bound: self.ncols,
                     });
                 }
             }
@@ -104,14 +148,7 @@ impl Dcsr {
                 });
             }
         }
-        Ok(Self {
-            nrows,
-            ncols,
-            rowidx,
-            rowptr,
-            colidx,
-            values,
-        })
+        Ok(())
     }
 
     /// Densify a CSR matrix: drop its empty rows into the `rowidx`
@@ -133,14 +170,7 @@ impl Dcsr {
             values.extend_from_slice(vals);
             rowptr.push(colidx.len() as Index);
         }
-        Self {
-            nrows: shape.nrows,
-            ncols: shape.ncols,
-            rowidx,
-            rowptr,
-            colidx,
-            values,
-        }
+        Self::from_parts_unchecked(shape.nrows, shape.ncols, rowidx, rowptr, colidx, values)
     }
 
     /// Expand back to CSR (reinstating empty rows).
@@ -152,14 +182,13 @@ impl Dcsr {
         for i in 0..self.nrows {
             rowptr[i + 1] += rowptr[i];
         }
-        Csr::new(
+        Csr::from_parts_unchecked(
             self.nrows,
             self.ncols,
             rowptr,
             self.colidx.clone(),
             self.values.clone(),
         )
-        .expect("DCSR invariants guarantee a valid CSR expansion")
     }
 
     /// Row indices of the non-empty rows (the DCSR indirection vector).

@@ -9,14 +9,13 @@ use crate::{Coo, Csr, FormatError, Index, SparseMatrix, Value};
 
 /// Multiply every stored value by `factor` (structure unchanged).
 pub fn scale(csr: &Csr, factor: Value) -> Csr {
-    Csr::new(
+    Csr::from_parts_unchecked(
         csr.shape().nrows,
         csr.shape().ncols,
         csr.rowptr().to_vec(),
         csr.colidx().to_vec(),
         csr.values().iter().map(|v| v * factor).collect(),
     )
-    .expect("scaling preserves structure")
 }
 
 /// Sparse matrix addition `A + B` (shapes must match). Coincident entries
@@ -64,6 +63,7 @@ pub fn add(a: &Csr, b: &Csr) -> Result<Csr, FormatError> {
                     j += 1;
                     e
                 }
+                // nmt-lint: allow(panic) — the while condition guarantees i or j is in range
                 (None, None) => unreachable!("loop condition guarantees one side"),
             };
             colidx.push(next.0);
@@ -157,8 +157,7 @@ pub fn filter(csr: &Csr, mut keep: impl FnMut(Index, Index, Value) -> bool) -> C
         }
         rowptr[r + 1] = colidx.len() as Index;
     }
-    Csr::new(shape.nrows, shape.ncols, rowptr, colidx, values)
-        .expect("filtering preserves structure")
+    Csr::from_parts_unchecked(shape.nrows, shape.ncols, rowptr, colidx, values)
 }
 
 /// The main diagonal as a dense vector (`min(nrows, ncols)` entries,

@@ -128,8 +128,7 @@ impl TiledCsr {
             }
             rowptr[r + 1] = colidx.len() as Index;
         }
-        Csr::new(self.nrows, self.ncols, rowptr, colidx, values)
-            .expect("strip reassembly preserves CSR invariants")
+        Csr::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values)
     }
 }
 
@@ -259,17 +258,17 @@ impl DcsrTile {
                 detail: "tile rowidx unsorted".into(),
             });
         }
-        if self.rowidx.iter().any(|&r| r as usize >= self.height) {
+        if let Some(&r) = self.rowidx.iter().find(|&&r| r as usize >= self.height) {
             return Err(FormatError::IndexOutOfBounds {
                 axis: "row",
-                index: *self.rowidx.iter().max().unwrap(),
+                index: r,
                 bound: self.height,
             });
         }
-        if self.colidx.iter().any(|&c| c as usize >= self.width) {
+        if let Some(&c) = self.colidx.iter().find(|&&c| c as usize >= self.width) {
             return Err(FormatError::IndexOutOfBounds {
                 axis: "col",
-                index: *self.colidx.iter().max().unwrap(),
+                index: c,
                 bound: self.width,
             });
         }
@@ -366,13 +365,70 @@ impl TiledDcsr {
                 }
             }
         }
-        Ok(Self {
+        let out = Self {
             nrows: shape.nrows,
             ncols: shape.ncols,
             tile_w,
             tile_h,
             strips,
-        })
+        };
+        debug_assert!(
+            out.validate().is_ok(),
+            "tiling produced an invalid TiledDcsr: {:?}",
+            out.validate().err()
+        );
+        Ok(out)
+    }
+
+    /// Check the whole tile grid: the strip/tile counts match the matrix
+    /// dimensions, every tile sits at its grid position with the correct
+    /// (edge-clamped) extent, and every tile's internal invariants hold
+    /// ([`DcsrTile::validate`]).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.tile_w == 0 || self.tile_h == 0 {
+            return Err(FormatError::ShapeMismatch {
+                detail: "tile dims must be > 0".into(),
+            });
+        }
+        let nstrips = crate::strip_count(self.ncols, self.tile_w);
+        let ntiles = crate::tile_count(self.nrows, self.tile_h);
+        if self.strips.len() != nstrips {
+            return Err(FormatError::LengthMismatch {
+                expected: nstrips,
+                found: self.strips.len(),
+                name: "strips",
+            });
+        }
+        for (s, strip) in self.strips.iter().enumerate() {
+            if strip.len() != ntiles {
+                return Err(FormatError::LengthMismatch {
+                    expected: ntiles,
+                    found: strip.len(),
+                    name: "tiles per strip",
+                });
+            }
+            for (t, tile) in strip.iter().enumerate() {
+                let row_start = t * self.tile_h;
+                let col_start = s * self.tile_w;
+                let height = self.tile_h.min(self.nrows.saturating_sub(row_start)).max(1);
+                let width = self.tile_w.min(self.ncols.saturating_sub(col_start)).max(1);
+                if tile.row_start as usize != row_start
+                    || tile.col_start as usize != col_start
+                    || tile.height != height
+                    || tile.width != width
+                {
+                    return Err(FormatError::ShapeMismatch {
+                        detail: format!(
+                            "tile ({s},{t}) covers ({},{})+{}x{}, grid expects \
+                             ({row_start},{col_start})+{height}x{width}",
+                            tile.row_start, tile.col_start, tile.height, tile.width
+                        ),
+                    });
+                }
+                tile.validate()?;
+            }
+        }
+        Ok(())
     }
 
     /// Offline tiling from CSC (sanity mirror of the engine's online path).
@@ -437,8 +493,7 @@ impl TiledDcsr {
         for i in 0..self.nrows {
             rowptr[i + 1] += rowptr[i];
         }
-        Csr::new(self.nrows, self.ncols, rowptr, colidx, values)
-            .expect("tile reassembly preserves CSR invariants")
+        Csr::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values)
     }
 
     /// Reassemble one strip as an untiled [`Dcsr`] over local columns
@@ -468,8 +523,7 @@ impl TiledDcsr {
             values.extend(vals);
             rowptr.push(colidx.len() as Index);
         }
-        Dcsr::new(self.nrows, width, rowidx, rowptr, colidx, values)
-            .expect("strip reassembly preserves DCSR invariants")
+        Dcsr::from_parts_unchecked(self.nrows, width, rowidx, rowptr, colidx, values)
     }
 }
 

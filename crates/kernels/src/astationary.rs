@@ -23,7 +23,8 @@ pub fn astat_tiled(
     crate::check_inner_dims(a.shape().ncols, b.nrows())?;
     let n = a.shape().nrows;
     let k = b.ncols();
-    let tiled = TiledDcsr::from_csr(a, tile, tile).expect("tile dims validated by caller");
+    let tiled = TiledDcsr::from_csr(a, tile, tile)
+        .map_err(|e| SimError::BadConfig(format!("bad tile dims: {e}")))?;
     let a_dev = TiledDcsrDevice::upload(gpu, &tiled);
     let b_dev = DenseDevice::upload(gpu, b, TrafficClass::MatB);
     let c_dev = DenseDevice::upload(gpu, &DenseMatrix::zeros(n, k), TrafficClass::MatC);

@@ -161,6 +161,7 @@ pub fn try_generate(desc: &MatrixDesc) -> Result<Csr, MatgenError> {
 /// Panics on a malformed descriptor; use [`try_generate`] where a bad
 /// entry must not abort the caller (e.g. corpus sweeps).
 pub fn generate(desc: &MatrixDesc) -> Csr {
+    // nmt-lint: allow(panic) — documented panicking wrapper; try_generate is the fallible API
     try_generate(desc).expect("invalid matrix descriptor")
 }
 

@@ -25,6 +25,7 @@ fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
 pub fn shuffle_rows(csr: &Csr, seed: u64) -> Csr {
     let mut rng = StdRng::seed_from_u64(seed);
     let perm = permutation(csr.shape().nrows, &mut rng);
+    // nmt-lint: allow(panic) — permutation() returns a valid permutation of 0..nrows
     ops::permute_rows(csr, &perm).expect("a fresh permutation is always valid")
 }
 
@@ -34,6 +35,7 @@ pub fn shuffle_rows(csr: &Csr, seed: u64) -> Csr {
 pub fn shuffle_cols(csr: &Csr, seed: u64) -> Csr {
     let mut rng = StdRng::seed_from_u64(seed);
     let perm = permutation(csr.shape().ncols, &mut rng);
+    // nmt-lint: allow(panic) — permutation() returns a valid permutation of 0..ncols
     ops::permute_cols(csr, &perm).expect("a fresh permutation is always valid")
 }
 
@@ -50,7 +52,7 @@ pub fn prune_magnitude(csr: &Csr, keep_fraction: f64) -> Csr {
         "keep_fraction must be within [0, 1]"
     );
     let mut mags: Vec<f32> = csr.values().iter().map(|v| v.abs()).collect();
-    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    mags.sort_unstable_by(|a, b| b.total_cmp(a));
     let keep = ((csr.nnz() as f64 * keep_fraction).round() as usize).min(csr.nnz());
     if keep == 0 {
         return ops::filter(csr, |_, _, _| false);
@@ -82,6 +84,7 @@ pub fn add_background(csr: &Csr, density: f64, seed: u64) -> Csr {
         let r = rng.random_range(0..shape.nrows as u32);
         let c = rng.random_range(0..shape.ncols as u32);
         coo.push(r, c, rng.random_range(-1.0f32..1.0))
+            // nmt-lint: allow(panic) — r and c are sampled inside the matrix bounds
             .expect("in bounds");
     }
     coo.canonicalize();

@@ -176,6 +176,7 @@ impl SuiteSpec {
         self.try_build()
             .into_iter()
             .map(|(d, m)| {
+                // nmt-lint: allow(panic) — documented panicking wrapper; try_build is the fallible API
                 let m = m.expect("built-in suite descriptors are well-formed");
                 (d, m)
             })

@@ -227,7 +227,7 @@ pub fn learn_threshold(points: &[(f64, f64)]) -> SsfThreshold {
         .iter()
         .map(|&(ssf, ratio)| (ssf, ratio > 1.0)) // true = B-stationary wins
         .collect();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("SSF values must not be NaN"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let total = sorted.len();
     let total_b: usize = sorted.iter().filter(|&&(_, b)| b).count();

@@ -141,7 +141,7 @@ impl Recorder {
         }
         let key = self as *const Recorder as usize;
         let id = {
-            let mut inner = self.inner.lock().expect("recorder lock");
+            let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let id = inner.next_id;
             inner.next_id += 1;
             id
@@ -165,17 +165,17 @@ impl Recorder {
 
     /// Copy out all retained spans, oldest first.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        let inner = self.inner.lock().expect("recorder lock");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.spans.iter().cloned().collect()
     }
 
     /// Spans evicted because the ring wrapped (plus all spans, if disabled).
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("recorder lock").dropped
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped
     }
 
     fn finish(&self, record: SpanRecord) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.spans.len() == self.capacity {
             inner.spans.pop_front();
             inner.dropped += 1;
@@ -186,7 +186,7 @@ impl Recorder {
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("recorder lock");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("Recorder")
             .field("capacity", &self.capacity)
             .field("retained", &inner.spans.len())
@@ -230,7 +230,7 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if !self.live {
             if self.recorder.capacity == 0 {
-                self.recorder.inner.lock().expect("recorder lock").dropped += 1;
+                self.recorder.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped += 1;
             }
             return;
         }

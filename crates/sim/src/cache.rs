@@ -94,7 +94,7 @@ impl L2Slice {
             .unwrap_or_else(|| {
                 slot_range
                     .min_by_key(|&i| self.stamps[i])
-                    .expect("ways >= 1")
+                    .unwrap_or(base)
             });
         let dirty_writeback = self.tags[victim].is_some() && self.dirty[victim];
         self.tags[victim] = Some(line);

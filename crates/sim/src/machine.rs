@@ -713,7 +713,7 @@ mod tests {
         let spread = g
             .launch(0, 4, |ctx| {
                 let _ = ctx.block_id;
-                ctx.fma(32, 1000)
+                ctx.fma(32, 1000);
             })
             .unwrap();
         assert!((one.t_compute_ns - spread.t_compute_ns).abs() < 1e-9);

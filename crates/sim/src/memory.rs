@@ -324,8 +324,8 @@ mod tests {
         let mut m = mem();
         m.access(0, 64 * 1024, TrafficClass::MatB, false, false);
         let busy = m.partition_busy_ns();
-        let max = busy.iter().cloned().fold(0.0, f64::max);
-        let min = busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = busy.iter().copied().fold(0.0, f64::max);
+        let min = busy.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max > 0.0);
         assert!((max - min) / max < 0.01, "imbalance: {busy:?}");
     }

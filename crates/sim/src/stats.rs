@@ -100,11 +100,13 @@ pub struct TrafficBytes {
 impl TrafficBytes {
     /// Add `n` bytes to `class`.
     pub fn add(&mut self, class: TrafficClass, n: u64) {
+        // nmt-lint: allow(slice-index) — idx() is an enum discriminant < COUNT
         self.bytes[class.idx()] += n;
     }
 
     /// Bytes recorded for `class`.
     pub fn get(&self, class: TrafficClass) -> u64 {
+        // nmt-lint: allow(slice-index) — idx() is an enum discriminant < COUNT
         self.bytes[class.idx()]
     }
 
@@ -115,8 +117,8 @@ impl TrafficBytes {
 
     /// Merge another counter into this one.
     pub fn merge(&mut self, other: &TrafficBytes) {
-        for i in 0..self.bytes.len() {
-            self.bytes[i] += other.bytes[i];
+        for (mine, theirs) in self.bytes.iter_mut().zip(&other.bytes) {
+            *mine += theirs;
         }
     }
 }
@@ -138,6 +140,7 @@ impl WarpExecStats {
     /// `warp_size` lanes doing useful work.
     pub fn record(&mut self, class: InstrClass, active_lanes: usize, warp_size: usize) {
         debug_assert!(active_lanes <= warp_size);
+        // nmt-lint: allow(slice-index) — idx() is an enum discriminant < COUNT
         self.active[class.idx()] += active_lanes as u64;
         self.inactive += (warp_size - active_lanes) as u64;
     }
@@ -159,6 +162,7 @@ impl WarpExecStats {
 
     /// Active slots recorded for one class.
     pub fn active_for(&self, class: InstrClass) -> u64 {
+        // nmt-lint: allow(slice-index) — idx() is an enum discriminant < COUNT
         self.active[class.idx()]
     }
 
@@ -170,8 +174,8 @@ impl WarpExecStats {
 
     /// Merge another counter into this one.
     pub fn merge(&mut self, other: &WarpExecStats) {
-        for i in 0..self.active.len() {
-            self.active[i] += other.active[i];
+        for (mine, theirs) in self.active.iter_mut().zip(&other.active) {
+            *mine += theirs;
         }
         self.inactive += other.inactive;
     }

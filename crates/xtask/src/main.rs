@@ -1,0 +1,127 @@
+//! Workspace automation driver: `cargo xtask <command>`.
+//!
+//! Currently one command:
+//!
+//! ```text
+//! cargo xtask lint [--json <path>] [--deny-warnings] [--root <dir>] [PATH...]
+//! ```
+//!
+//! With no `PATH` arguments the whole workspace's library sources are
+//! linted; explicit paths (files or directories, e.g. the fixtures under
+//! `tests/lint_fixtures/`) are linted instead when given. Exit codes:
+//! `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask lint [--json <path>] [--deny-warnings] [--root <dir>] [PATH...]
+
+  --json <path>     also write the machine-readable report to <path>
+  --deny-warnings   treat warning-severity findings as failures
+  --root <dir>      workspace root (default: ancestor of this binary's manifest)
+  PATH...           lint these files/dirs instead of the workspace sources
+";
+
+struct LintArgs {
+    json_out: Option<PathBuf>,
+    deny_warnings: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+fn default_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut out = LintArgs {
+        json_out: None,
+        deny_warnings: false,
+        root: default_root(),
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                out.json_out = Some(PathBuf::from(v));
+            }
+            "--deny-warnings" => out.deny_warnings = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                out.root = PathBuf::from(v);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => out.paths.push(PathBuf::from(other)),
+        }
+    }
+    Ok(out)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let parsed = match parse_lint_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if parsed.paths.is_empty() {
+        nmt_lint::lint_workspace(&parsed.root)
+    } else {
+        nmt_lint::lint_paths(&parsed.root, &parsed.paths)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if let Some(json_path) = &parsed.json_out {
+        if let Some(dir) = json_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: creating {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("error: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("report written to {}", json_path.display());
+    }
+    if report.failed(parsed.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

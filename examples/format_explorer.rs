@@ -114,10 +114,10 @@ fn main() {
     println!("=> recommended algorithm: {choice:?}");
     match choice {
         spmm_nmt::model::ssf::Choice::BStationary => {
-            println!("   (store as CSC; let the near-memory engine mint tiled DCSR online)")
+            println!("   (store as CSC; let the near-memory engine mint tiled DCSR online)");
         }
         spmm_nmt::model::ssf::Choice::CStationary => {
-            println!("   (store as CSR/DCSR; run untiled C-stationary row-per-warp)")
+            println!("   (store as CSR/DCSR; run untiled C-stationary row-per-warp)");
         }
     }
 }

@@ -85,7 +85,7 @@ fn report(name: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
         return;
     }
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
-    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
     let rate = match throughput {
         Some(Throughput::Elements(n)) if mean > 0.0 => {
             format!("  {:>10.1} Melem/s", n as f64 / mean * 1e3)
@@ -225,7 +225,7 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(3).throughput(Throughput::Elements(10));
         group.bench_with_input(BenchmarkId::new("add", 1), &21u64, |b, &x| {
-            b.iter(|| x * 2)
+            b.iter(|| x * 2);
         });
         group.bench_function("plain", |b| b.iter(|| 1 + 1));
         group.finish();

@@ -41,8 +41,7 @@ impl Value {
             Value::Object(members) => members
                 .iter()
                 .find(|(k, _)| k == name)
-                .map(|(_, v)| v)
-                .unwrap_or(&NULL),
+                .map_or(&NULL, |(_, v)| v),
             _ => &NULL,
         }
     }

@@ -71,7 +71,7 @@ fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String)
         Value::Str(s) => write_string(s, out),
         Value::Array(items) => {
             write_seq(items.iter(), indent, level, out, '[', ']', |item, lvl, o| {
-                write_value(item, indent, lvl, o)
+                write_value(item, indent, lvl, o);
             });
         }
         Value::Object(members) => {

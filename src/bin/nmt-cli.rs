@@ -99,7 +99,7 @@ fn flag(rest: &[&String], name: &str) -> Option<String> {
     rest.iter()
         .position(|a| a.as_str() == name)
         .and_then(|i| rest.get(i + 1))
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
 }
 
 fn parse_flag<T: std::str::FromStr>(rest: &[&String], name: &str, default: T) -> Result<T, String> {
@@ -135,6 +135,9 @@ fn load(rest: &[&String]) -> Result<Csr, String> {
 
 fn cmd_profile(rest: &[&String]) -> Result<(), String> {
     let tile: usize = parse_flag(rest, "--tile", 64)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
     let a = load(rest)?;
     let p = SsfProfile::compute(&a, tile);
     println!("shape            : {}", a.shape());
@@ -203,6 +206,9 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
     init_threads(rest)?;
     let k: usize = parse_flag(rest, "--k", 64)?;
     let tile: usize = parse_flag(rest, "--tile", 64)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
     let trace_out = flag(rest, "--trace-out");
     let metrics_json = flag(rest, "--metrics-json");
     let a = load(rest)?;
@@ -271,6 +277,9 @@ fn cmd_audit(rest: &[&String]) -> Result<(), String> {
     init_threads(rest)?;
     let k: usize = parse_flag(rest, "--k", 64)?;
     let tile: usize = parse_flag(rest, "--tile", 64)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
     let metrics_json = flag(rest, "--metrics-json");
     let a = load(rest)?;
     let b = random_dense(a.shape().ncols, k, 0xB);

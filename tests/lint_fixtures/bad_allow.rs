@@ -1,0 +1,10 @@
+//! Fixture: `bad-allow` fires on unknown rules and missing reasons.
+
+// nmt-lint: allow(no-such-rule) — misspelled rule name
+//~^ ERROR bad-allow
+
+pub fn unjustified(x: Option<u8>) -> u8 {
+    // nmt-lint: allow(panic)
+    //~^ ERROR bad-allow
+    x.unwrap() //~ ERROR panic
+}

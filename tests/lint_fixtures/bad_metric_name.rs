@@ -1,0 +1,8 @@
+//! Fixture: `metric-name` enforces the lowercase dotted convention for
+//! literal names handed to the obs metric registry.
+
+pub fn record(m: &nmt_obs::Metrics) {
+    m.counter_add("BadName", 1); //~ ERROR metric-name
+    m.gauge_set("single", 2.0); //~ ERROR metric-name
+    m.histogram_record("engine.farm.bytes", 3);
+}

@@ -1,0 +1,25 @@
+//! Fixture: `panic` fires in plain-`pub` fns of library sources.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() //~ ERROR panic
+}
+
+pub fn checked(flag: bool) -> u8 {
+    if !flag {
+        panic!("flag must be set"); //~ ERROR panic
+    }
+    1
+}
+
+pub fn described(x: Option<u8>) -> u8 {
+    x.expect("callers always pass Some") //~ ERROR panic
+}
+
+// Private and restricted functions are allowed to unwrap.
+fn private_ok(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub(crate) fn restricted_ok(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Fixture: `slice-index` is warning-severity in ordinary library sources.
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    v[i] //~ WARN slice-index
+}
+
+// Slice *types* are not index expressions.
+pub fn type_position_ok(v: &mut [u64]) -> usize {
+    v.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `unordered-map` fires on any HashMap/HashSet mention.
+
+use std::collections::HashMap; //~ ERROR unordered-map
+use std::collections::HashSet; //~ ERROR unordered-map
+
+pub fn build() -> HashMap<u32, u32> { //~ ERROR unordered-map
+    HashMap::new() //~ ERROR unordered-map
+}
+
+pub fn seen() -> HashSet<u32> { //~ ERROR unordered-map
+    HashSet::new() //~ ERROR unordered-map
+}

@@ -1,0 +1,7 @@
+//! Fixture: `unused-allow` flags suppressions that suppress nothing.
+
+// nmt-lint: allow(panic) — nothing below actually panics
+//~^ WARN unused-allow
+pub fn quiet() -> u8 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: `wallclock` fires outside the obs span allowlist.
+
+pub fn elapsed_ns() -> u64 {
+    let start = std::time::Instant::now(); //~ ERROR wallclock
+    let _ = std::time::SystemTime::now(); //~ ERROR wallclock
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,24 @@
+//! Fixture: expected to lint clean — ordered maps, typed fallbacks, and a
+//! justified (counted) suppression.
+
+use std::collections::BTreeMap;
+
+/// Sum per-key values in deterministic key order.
+pub fn totals(pairs: &[(u32, u64)]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for &(k, v) in pairs {
+        *out.entry(k).or_insert(0) += v;
+    }
+    out
+}
+
+/// Bounds-checked access instead of direct indexing.
+pub fn fetch(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i).copied()
+}
+
+/// A justified suppression: counted in the report, not a violation.
+pub fn head(v: &[u64]) -> u64 {
+    // nmt-lint: allow(panic) — fixture demonstrating a justified, counted suppression
+    v.first().copied().expect("callers guarantee non-empty")
+}

@@ -1,0 +1,5 @@
+//! Fixture: `slice-index` escalates to error in determinism-scoped files.
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    v[i] //~ ERROR slice-index
+}

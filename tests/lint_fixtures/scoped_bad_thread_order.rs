@@ -1,0 +1,13 @@
+//! Fixture: `thread-order` fires in determinism-scoped files (the
+//! `scoped_` name prefix stands in for the ledger/audit/farm/stats list).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tally(total: &AtomicU64, delta: u64) {
+    total.fetch_add(delta, Ordering::Relaxed); //~ ERROR thread-order
+}
+
+pub fn drain() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>(); //~ ERROR thread-order
+    drop((tx, rx));
+}

@@ -178,7 +178,7 @@ fn cli_writes_trace_and_metrics_artifacts() {
             .expect("metrics parse");
     assert!(metrics["counters"]
         .get("kernels.chosen.dram_bytes.mat_a")
-        .and_then(|v| v.as_u64())
+        .and_then(serde_json::Value::as_u64)
         .is_some());
     assert!(metrics["gauges"].get("planner.phase.chosen_ns").is_some());
     if record["algorithm"].as_str() == Some("bstat-online") {
