@@ -33,6 +33,7 @@ fn main() {
             tile_w: tile,
             tile_h: tile,
             threshold: nmt::DEFAULT_SSF_THRESHOLD,
+            fault: None,
         });
         let (tc, tb) = planner.profile_both(a, &b).expect("both kernels run");
         (desc.name.clone(), profile, tc / tb)

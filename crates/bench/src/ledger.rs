@@ -13,6 +13,7 @@
 use crate::{experiment_gpu, experiment_k, experiment_tile, geomean, EXPERIMENT_SEED};
 use nmt::planner::{PlannerConfig, SpmmPlanner, DEFAULT_SSF_THRESHOLD};
 use nmt::DecisionAudit;
+use nmt_fault::{FaultPlan, FaultRecord};
 use nmt_formats::SparseMatrix;
 use nmt_matgen::{random_dense, SuiteScale, SuiteSpec};
 use nmt_model::ssf::Choice;
@@ -27,7 +28,12 @@ use std::collections::BTreeMap;
 ///
 /// v2: added `errors` — per-matrix error rows, so one malformed matrix is
 /// reported instead of aborting the whole sweep.
-pub const LEDGER_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: fault-injection provenance — the ledger records the `FaultPlan`
+/// identity (`fault_seed` / `fault_rate_ppm`, both null on clean sweeps)
+/// and error rows carry fault attribution, so a faulted sweep can never
+/// be mistaken for (or gated against) a clean baseline.
+pub const LEDGER_SCHEMA_VERSION: u32 = 3;
 
 /// A matrix whose sweep failed: recorded instead of aborting the corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +42,9 @@ pub struct ErrorRow {
     pub matrix: String,
     /// The error that stopped this matrix's run.
     pub error: String,
+    /// When the error was an injected fault, its attribution: which site
+    /// fired and at which deterministic key (`None` for organic errors).
+    pub fault: Option<FaultRecord>,
 }
 
 /// One matrix's row in the ledger.
@@ -155,6 +164,12 @@ pub struct Ledger {
     pub k: usize,
     /// Strip/tile edge.
     pub tile: usize,
+    /// Fault-injection seed when the sweep ran with a [`FaultPlan`]
+    /// (`None` on clean sweeps). Part of the suite identity: the gate
+    /// refuses to compare faulted and clean ledgers.
+    pub fault_seed: Option<u64>,
+    /// Fault-injection rate in parts-per-million (`None` on clean sweeps).
+    pub fault_rate_ppm: Option<u32>,
     /// Per-matrix rows, in suite order.
     pub rows: Vec<LedgerRow>,
     /// Matrices whose run errored, in suite order (empty on a clean
@@ -210,12 +225,27 @@ impl Ledger {
     }
 
     /// Aggregate a sweep's successful audits plus its per-matrix errors
-    /// (both in suite order) into a ledger.
+    /// (both in suite order) into a clean (unfaulted) ledger.
     pub fn from_sweep(
         scale: SuiteScale,
         seed: u64,
         k: usize,
         tile: usize,
+        audits: &[DecisionAudit],
+        errors: Vec<ErrorRow>,
+    ) -> Self {
+        Self::from_sweep_faulted(scale, seed, k, tile, None, audits, errors)
+    }
+
+    /// Aggregate a sweep that ran under `fault` (or `None` for a clean
+    /// sweep); the plan's identity is stamped into the ledger so the gate
+    /// can tell faulted and clean runs apart.
+    pub fn from_sweep_faulted(
+        scale: SuiteScale,
+        seed: u64,
+        k: usize,
+        tile: usize,
+        fault: Option<FaultPlan>,
         audits: &[DecisionAudit],
         errors: Vec<ErrorRow>,
     ) -> Self {
@@ -281,6 +311,8 @@ impl Ledger {
             seed,
             k,
             tile,
+            fault_seed: fault.map(|p| p.seed),
+            fault_rate_ppm: fault.map(|p| p.rate_ppm),
             rows,
             errors,
             summary,
@@ -349,6 +381,16 @@ impl Ledger {
             ("seed", self.seed.to_string(), baseline.seed.to_string()),
             ("k", self.k.to_string(), baseline.k.to_string()),
             ("tile", self.tile.to_string(), baseline.tile.to_string()),
+            (
+                "fault seed",
+                format!("{:?}", self.fault_seed),
+                format!("{:?}", baseline.fault_seed),
+            ),
+            (
+                "fault rate (ppm)",
+                format!("{:?}", self.fault_rate_ppm),
+                format!("{:?}", baseline.fault_rate_ppm),
+            ),
             (
                 "matrix count",
                 self.rows.len().to_string(),
@@ -432,6 +474,20 @@ impl LedgerRow {
 /// both rows and error rows come out in suite order regardless of
 /// thread count.
 pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
+    sweep_ledger_faulted(scale, None)
+}
+
+/// [`sweep_ledger`] with a [`FaultPlan`] installed in every per-matrix
+/// planner. Faults fire at `(seed, site, key)`-determined points, so the
+/// faulted ledger is just as byte-reproducible as the clean one; engine
+/// faults that exhaust their retry are absorbed per-matrix by the B→C
+/// degraded-mode fallback (visible in `fault.*` metrics and the audit),
+/// and any error that still stops a matrix carries its fault attribution
+/// in [`ErrorRow::fault`].
+pub fn sweep_ledger_faulted(
+    scale: SuiteScale,
+    fault: Option<FaultPlan>,
+) -> Result<Ledger, SimError> {
     let tile = experiment_tile(scale);
     let k = experiment_k(scale);
     let config = PlannerConfig {
@@ -439,22 +495,38 @@ pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
         tile_w: tile,
         tile_h: tile,
         threshold: DEFAULT_SSF_THRESHOLD,
+        fault,
     };
     let suite = SuiteSpec::new(scale, EXPERIMENT_SEED).try_build();
     // Parallel over matrices; collect() preserves suite order, so the
     // audit/error partition below is schedule-independent. A matrix that
     // fails to generate or to run becomes an error row, not an abort.
-    let outcomes: Vec<(String, Result<DecisionAudit, String>)> = suite
+    type Outcome = Result<DecisionAudit, (String, Option<FaultRecord>)>;
+    let outcomes: Vec<(String, Outcome)> = suite
         .par_iter()
         .map(|(desc, built)| {
             let audit = match built {
-                Err(e) => Err(e.to_string()),
+                Err(e) => Err((e.to_string(), None)),
                 Ok(a) => {
                     let planner = SpmmPlanner::new(config.clone());
                     let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
                     planner
                         .explain(&desc.name, a, &b, &ObsContext::disabled())
-                        .map_err(|e| e.to_string())
+                        .map_err(|e| {
+                            let attribution = match &e {
+                                SimError::InjectedFault { site, key, detail } => {
+                                    Some(FaultRecord {
+                                        site: *site,
+                                        key: *key,
+                                        retried: false,
+                                        fell_back: false,
+                                        detail: detail.clone(),
+                                    })
+                                }
+                                _ => None,
+                            };
+                            (e.to_string(), attribution)
+                        })
                 }
             };
             (desc.name.clone(), audit)
@@ -465,14 +537,19 @@ pub fn sweep_ledger(scale: SuiteScale) -> Result<Ledger, SimError> {
     for (matrix, outcome) in outcomes {
         match outcome {
             Ok(audit) => audits.push(audit),
-            Err(error) => errors.push(ErrorRow { matrix, error }),
+            Err((error, fault)) => errors.push(ErrorRow {
+                matrix,
+                error,
+                fault,
+            }),
         }
     }
-    Ok(Ledger::from_sweep(
+    Ok(Ledger::from_sweep_faulted(
         scale,
         EXPERIMENT_SEED,
         k,
         tile,
+        fault,
         &audits,
         errors,
     ))
@@ -592,6 +669,7 @@ mod tests {
             vec![ErrorRow {
                 matrix: "broken".to_string(),
                 error: "shape mismatch: inner dimensions must agree".to_string(),
+                fault: None,
             }],
         );
         assert_eq!(errored.errors.len(), 1);
@@ -609,6 +687,7 @@ mod tests {
         errored.errors.push(ErrorRow {
             matrix: "broken".to_string(),
             error: "boom".to_string(),
+            fault: None,
         });
         let errs = errored
             .gate(&clean, GateTolerance::default())
@@ -620,6 +699,40 @@ mod tests {
             .gate(&errored, GateTolerance::default())
             .expect_err("count mismatch either way");
         assert!(errs.iter().any(|e| e.contains("error-row count")));
+    }
+
+    #[test]
+    fn faulted_ledger_identity_gates_against_clean() {
+        let clean = quick_ledger(15);
+        assert_eq!(clean.fault_seed, None);
+        assert_eq!(clean.fault_rate_ppm, None);
+
+        let plan = FaultPlan::new(0xFA17, 250_000);
+        let mut faulted = clean.clone();
+        faulted.fault_seed = Some(plan.seed);
+        faulted.fault_rate_ppm = Some(plan.rate_ppm);
+        let errs = faulted
+            .gate(&clean, GateTolerance::default())
+            .expect_err("faulted vs clean must mismatch");
+        assert!(errs.iter().any(|e| e.contains("fault seed")));
+        assert!(errs.iter().any(|e| e.contains("fault rate")));
+        // Same plan on both sides compares normally.
+        assert!(faulted.gate(&faulted, GateTolerance::default()).is_ok());
+
+        // A faulted aggregation stamps the plan identity.
+        let stamped = Ledger::from_sweep_faulted(
+            SuiteScale::Small,
+            15,
+            8,
+            clean.tile,
+            Some(plan),
+            &[],
+            Vec::new(),
+        );
+        assert_eq!(stamped.fault_seed, Some(0xFA17));
+        assert_eq!(stamped.fault_rate_ppm, Some(250_000));
+        let back = Ledger::from_json(&stamped.to_json()).expect("parses");
+        assert_eq!(back, stamped);
     }
 
     #[test]

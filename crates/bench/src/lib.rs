@@ -9,8 +9,8 @@ use rayon::prelude::*;
 pub mod ledger;
 
 pub use ledger::{
-    ledger_filename, scale_label, sweep_ledger, CorpusSummary, ErrorRow, GateTolerance,
-    LatencyPercentiles, Ledger, LedgerRow, LEDGER_SCHEMA_VERSION,
+    ledger_filename, scale_label, sweep_ledger, sweep_ledger_faulted, CorpusSummary, ErrorRow,
+    GateTolerance, LatencyPercentiles, Ledger, LedgerRow, LEDGER_SCHEMA_VERSION,
 };
 
 /// The seed shared by every experiment so figures are reproducible.

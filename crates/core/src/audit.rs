@@ -10,6 +10,7 @@
 //! [`DecisionAudit::publish`] turns the comparison into registry gauges
 //! and histograms so model drift is an alarmable metric, not a footnote.
 
+use nmt_fault::FaultRecord;
 use nmt_model::ssf::{Choice, SsfProfile};
 use nmt_model::TrafficEstimate;
 use nmt_obs::ObsContext;
@@ -132,6 +133,11 @@ pub struct DecisionAudit {
     pub cstationary: KernelAudit,
     /// The B-stationary candidate (online-tiled DCSR via the engine).
     pub bstationary: KernelAudit,
+    /// Injected-fault outcome, when the B-stationary attempt escalated a
+    /// fault and the degraded-mode policy substituted the untiled
+    /// C-stationary run (`fell_back` is true when the heuristic would
+    /// actually have routed this matrix to the engine path).
+    pub fault: Option<FaultRecord>,
 }
 
 impl DecisionAudit {
@@ -184,6 +190,12 @@ impl DecisionAudit {
         }
         m.counter_add("audit.decisions", 1);
         m.counter_add("audit.mispicks", self.mispick as u64);
+        if let Some(fault) = &self.fault {
+            m.counter_add("fault.escalations", 1);
+            if fault.fell_back {
+                m.counter_add("fault.fallbacks", 1);
+            }
+        }
         m.gauge_set("audit.mispick", self.mispick as u64 as f64);
         m.gauge_set("audit.mispick_cost", self.mispick_cost);
         m.histogram_record(
@@ -227,6 +239,9 @@ impl DecisionAudit {
             choice_label(self.oracle),
             verdict
         );
+        if let Some(fault) = &self.fault {
+            let _ = writeln!(s, "degraded mode    : {fault}");
+        }
         let _ = writeln!(s, "baseline         : {:.2} us", self.baseline_ns / 1e3);
         for side in [&self.cstationary, &self.bstationary] {
             let marker = if side.dataflow == self.chosen_audit().dataflow {

@@ -2,6 +2,7 @@
 
 use crate::audit::{DecisionAudit, KernelAudit};
 use nmt_engine::{conversion_energy_pj, ConversionStats};
+use nmt_fault::{FaultPlan, FaultRecord, FaultSite};
 use nmt_formats::{Csr, Dcsr, DenseMatrix, SparseMatrix};
 use nmt_kernels::{bstat_tiled_dcsr_online_obs, csrmm_cusparse, dcsrmm_row_per_warp};
 use nmt_model::ssf::{classify, Choice, SsfProfile, SsfThreshold};
@@ -42,6 +43,11 @@ pub struct PlannerConfig {
     pub tile_h: usize,
     /// Decision threshold.
     pub threshold: SsfThreshold,
+    /// Optional fault-injection plan, installed on every GPU the planner
+    /// builds except the baseline reference. Engine-side escalations
+    /// trigger the degraded-mode B→C-stationary fallback; memory-site
+    /// faults only perturb timing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl PlannerConfig {
@@ -52,6 +58,7 @@ impl PlannerConfig {
             tile_w: 64,
             tile_h: 64,
             threshold: DEFAULT_SSF_THRESHOLD,
+            fault: None,
         }
     }
 
@@ -62,7 +69,14 @@ impl PlannerConfig {
             tile_w: 16,
             tile_h: 16,
             threshold: DEFAULT_SSF_THRESHOLD,
+            fault: None,
         }
+    }
+
+    /// The same configuration with a fault plan installed.
+    pub fn with_fault(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
     }
 }
 
@@ -85,6 +99,12 @@ pub struct PlanReport {
     pub engine: Option<ConversionStats>,
     /// Engine conversion energy in picojoules (0 for C-stationary).
     pub engine_energy_pj: f64,
+    /// The computed product `C = A × B` from the chosen (or fallback)
+    /// kernel — the differential fault tests compare this bitwise.
+    pub c: DenseMatrix,
+    /// The escalated fault this run absorbed via the degraded-mode
+    /// fallback, if any.
+    pub fault: Option<FaultRecord>,
 }
 
 /// The auto-tuning SpMM planner.
@@ -156,7 +176,8 @@ impl SpmmPlanner {
 
         let chosen_span = obs.span("planner.chosen");
         let mut gpu = Gpu::new(self.config.gpu.clone())?;
-        let (algorithm, stats, c, engine) = match choice {
+        gpu.set_fault_plan(self.config.fault);
+        let (algorithm, stats, c, engine, fault) = match choice {
             Choice::CStationary => {
                 let dcsr = {
                     let _s = obs.span("engine.convert");
@@ -166,30 +187,72 @@ impl SpmmPlanner {
                     let _s = obs.span("kernels.launch");
                     dcsrmm_row_per_warp(&mut gpu, &dcsr, b)?
                 };
-                (Algorithm::CStationaryDcsr, run.stats, run.c, None)
+                (Algorithm::CStationaryDcsr, run.stats, run.c, None, None)
             }
             Choice::BStationary => {
                 let csc = a.to_csc();
-                let online = bstat_tiled_dcsr_online_obs(
+                match bstat_tiled_dcsr_online_obs(
                     &mut gpu,
                     &csc,
                     b,
                     self.config.tile_w,
                     self.config.tile_h,
                     obs,
-                )?;
-                (
-                    Algorithm::BStationaryOnline,
-                    online.run.stats,
-                    online.run.c,
-                    Some(online.engine),
-                )
+                ) {
+                    Ok(online) => (
+                        Algorithm::BStationaryOnline,
+                        online.run.stats,
+                        online.run.c,
+                        Some(online.engine),
+                        None,
+                    ),
+                    Err(SimError::InjectedFault { site, key, detail }) => {
+                        // Degraded mode: the engine-side fault survived its
+                        // strip retry, so fall back per-matrix to the
+                        // untiled C-stationary path — the paper's hybrid
+                        // switch used as a fault response. Fresh cold-cache
+                        // GPU, same fault plan (memory-site faults remain
+                        // active but are timing-only).
+                        let mut fb_gpu = Gpu::new(self.config.gpu.clone())?;
+                        fb_gpu.set_fault_plan(self.config.fault);
+                        let dcsr = {
+                            let _s = obs.span("engine.convert");
+                            Dcsr::from_csr(a)
+                        };
+                        let run = {
+                            let _s = obs.span("kernels.launch");
+                            dcsrmm_row_per_warp(&mut fb_gpu, &dcsr, b)?
+                        };
+                        gpu = fb_gpu;
+                        let record = FaultRecord {
+                            retried: site == FaultSite::ConvertStrip,
+                            fell_back: true,
+                            site,
+                            key,
+                            detail,
+                        };
+                        (Algorithm::CStationaryDcsr, run.stats, run.c, None, Some(record))
+                    }
+                    Err(other) => return Err(other),
+                }
             }
         };
         drop(chosen_span);
         let t_chosen = obs.recorder.now_ns();
 
         publish_kernel_stats(obs, "kernels.chosen", &stats);
+        if fault.is_some() {
+            obs.metrics.counter_add("fault.fallbacks", 1);
+        }
+        let mem = gpu.memory();
+        if mem.fault_dram_spikes() > 0 {
+            obs.metrics
+                .counter_add("fault.dram_spikes", mem.fault_dram_spikes());
+        }
+        if mem.fault_prefetch_overflows() > 0 {
+            obs.metrics
+                .counter_add("fault.prefetch_overflows", mem.fault_prefetch_overflows());
+        }
         obs.metrics
             .gauge_set("planner.phase.plan_ns", (t_plan - t0) as f64);
         obs.metrics
@@ -215,6 +278,8 @@ impl SpmmPlanner {
             baseline_stats: baseline.stats,
             engine,
             engine_energy_pj,
+            c,
+            fault,
         })
     }
 
@@ -246,26 +311,50 @@ impl SpmmPlanner {
             let mut gpu = Gpu::new(self.config.gpu.clone())?;
             csrmm_cusparse(&mut gpu, a, b)?
         };
+        let model = TrafficModel::measure(a, self.config.tile_w);
+        let k = b.ncols() as f64;
         let c_run = {
             let _s = obs.span("audit.cstationary");
             let mut gpu = Gpu::new(self.config.gpu.clone())?;
+            gpu.set_fault_plan(self.config.fault);
             dcsrmm_row_per_warp(&mut gpu, &Dcsr::from_csr(a), b)?
         };
-        let b_run = {
+        // The B-stationary candidate may escalate an injected fault; the
+        // degraded-mode policy then substitutes the untiled C-stationary
+        // run for this matrix's b-side, exactly as `execute` would.
+        let mut fault = None;
+        let (b_stats, b_predicted) = {
             let _s = obs.span("audit.bstationary");
             let mut gpu = Gpu::new(self.config.gpu.clone())?;
-            bstat_tiled_dcsr_online_obs(
+            gpu.set_fault_plan(self.config.fault);
+            match bstat_tiled_dcsr_online_obs(
                 &mut gpu,
                 &a.to_csc(),
                 b,
                 self.config.tile_w,
                 self.config.tile_h,
                 obs,
-            )?
+            ) {
+                Ok(online) => (online.run.stats, model.estimate_online_bstationary(k)),
+                Err(SimError::InjectedFault { site, key, detail }) => {
+                    fault = Some(FaultRecord {
+                        retried: site == FaultSite::ConvertStrip,
+                        fell_back: chosen == Choice::BStationary,
+                        site,
+                        key,
+                        detail,
+                    });
+                    let mut fb_gpu = Gpu::new(self.config.gpu.clone())?;
+                    fb_gpu.set_fault_plan(self.config.fault);
+                    let run = dcsrmm_row_per_warp(&mut fb_gpu, &Dcsr::from_csr(a), b)?;
+                    // The degraded side actually ran C-stationary, so
+                    // validate it against the C-stationary prediction.
+                    (run.stats, model.estimate_with_ncols(Dataflow::CStationary, k))
+                }
+                Err(other) => return Err(other),
+            }
         };
 
-        let model = TrafficModel::measure(a, self.config.tile_w);
-        let k = b.ncols() as f64;
         let baseline_ns = baseline.stats.total_ns;
         let cstationary = KernelAudit::new(
             "c-stationary",
@@ -274,21 +363,25 @@ impl SpmmPlanner {
             &model.estimate_with_ncols(Dataflow::CStationary, k),
         );
         let bstationary = KernelAudit::new(
-            "b-stationary-online",
+            if fault.is_some() {
+                "b-stationary-fallback"
+            } else {
+                "b-stationary-online"
+            },
             baseline_ns,
-            &b_run.run.stats,
-            &model.estimate_online_bstationary(k),
+            &b_stats,
+            &b_predicted,
         );
 
         // Oracle: measured winner; ties prefer C-stationary (no atomics).
-        let oracle = if b_run.run.stats.total_ns < c_run.stats.total_ns {
+        let oracle = if b_stats.total_ns < c_run.stats.total_ns {
             Choice::BStationary
         } else {
             Choice::CStationary
         };
         let time_of = |c: Choice| match c {
             Choice::CStationary => c_run.stats.total_ns,
-            Choice::BStationary => b_run.run.stats.total_ns,
+            Choice::BStationary => b_stats.total_ns,
         };
         let mispick = chosen != oracle;
         let mispick_cost = time_of(chosen) / time_of(oracle).max(1e-9);
@@ -310,6 +403,7 @@ impl SpmmPlanner {
             baseline_ns,
             cstationary,
             bstationary,
+            fault,
         };
         audit.publish(obs);
         Ok(audit)
@@ -561,6 +655,89 @@ mod tests {
             assert!(side.dram_bytes["mat_a"] > 0);
             assert!(side.time_ns > 0.0);
         }
+    }
+
+    #[test]
+    fn forced_fault_triggers_audited_fallback() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::Uniform { density: 0.02 },
+            20,
+        ));
+        let b = random_dense(128, 16, 21);
+        let mut cfg = PlannerConfig::test_small();
+        cfg.threshold = SsfThreshold {
+            threshold: -1.0,
+            accuracy: 1.0,
+        };
+        // Rate 1.0 fires every site, so the B-stationary attempt escalates
+        // and the planner must fall back — never panic, never Err.
+        let faulted = SpmmPlanner::new(cfg.clone().with_fault(Some(FaultPlan::from_rate(1, 1.0))))
+            .execute(&a, &b)
+            .unwrap();
+        assert_eq!(faulted.choice, Choice::BStationary, "heuristic unchanged");
+        assert_eq!(faulted.algorithm, Algorithm::CStationaryDcsr, "ran fallback");
+        let rec = faulted.fault.as_ref().expect("fault audited");
+        assert!(rec.fell_back);
+        assert!(faulted.engine.is_none());
+
+        // The fallback output is bitwise-identical to a clean run forced
+        // down the C-stationary path (memory faults are timing-only).
+        cfg.threshold = SsfThreshold {
+            threshold: f64::INFINITY,
+            accuracy: 1.0,
+        };
+        let clean = SpmmPlanner::new(cfg).execute(&a, &b).unwrap();
+        assert_eq!(clean.algorithm, Algorithm::CStationaryDcsr);
+        assert_eq!(faulted.c, clean.c);
+    }
+
+    #[test]
+    fn faulted_execute_and_explain_agree() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            128,
+            GenKind::ZipfRows {
+                density: 0.02,
+                exponent: 1.2,
+            },
+            22,
+        ));
+        let b = random_dense(128, 16, 23);
+        let cfg = PlannerConfig::test_small().with_fault(Some(FaultPlan::from_rate(3, 1.0)));
+        let p = SpmmPlanner::new(cfg);
+        let report = p.execute(&a, &b).unwrap();
+        let audit = p.explain("t", &a, &b, &ObsContext::disabled()).unwrap();
+        let audit2 = p.explain("t", &a, &b, &ObsContext::disabled()).unwrap();
+        assert_eq!(audit, audit2, "faulted explain must be reproducible");
+        assert!(audit.fault.is_some(), "explain audits the escalation");
+        assert_eq!(audit.chosen, report.choice);
+        assert!((audit.chosen_audit().time_ns - report.stats.total_ns).abs() < 1e-9);
+        if report.choice == Choice::BStationary {
+            assert_eq!(audit.bstationary.dataflow, "b-stationary-fallback");
+            assert!(report.fault.is_some());
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_unfaulted_run() {
+        let a = generators::generate(&MatrixDesc::new(
+            "t",
+            96,
+            GenKind::Uniform { density: 0.02 },
+            24,
+        ));
+        let b = random_dense(96, 8, 25);
+        let clean = planner().execute(&a, &b).unwrap();
+        let planned =
+            SpmmPlanner::new(PlannerConfig::test_small().with_fault(Some(FaultPlan::new(7, 0))))
+                .execute(&a, &b)
+                .unwrap();
+        assert_eq!(clean.c, planned.c);
+        assert_eq!(clean.algorithm, planned.algorithm);
+        assert!((clean.speedup - planned.speedup).abs() < 1e-12);
+        assert!(planned.fault.is_none());
     }
 
     #[test]

@@ -54,6 +54,26 @@ pub enum FormatError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A value token parsed to NaN or ±infinity. Non-finite values would
+    /// silently poison every downstream kernel sum, so they are rejected
+    /// at the boundary instead.
+    NonFiniteValue {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// The literal token as it appeared in the stream.
+        token: String,
+    },
+    /// The same coordinate appeared twice in a Matrix Market stream.
+    /// The format's semantics for duplicates are ambiguous (sum? last
+    /// wins?), so explicit duplicates are rejected rather than guessed at.
+    DuplicateEntry {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// 0-based row index of the duplicated coordinate.
+        row: u32,
+        /// 0-based column index of the duplicated coordinate.
+        col: u32,
+    },
     /// Underlying I/O failure while reading/writing a file.
     Io(String),
 }
@@ -81,6 +101,15 @@ impl fmt::Display for FormatError {
             FormatError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             FormatError::Parse { line, detail } => {
                 write!(f, "parse error at line {line}: {detail}")
+            }
+            FormatError::NonFiniteValue { line, token } => {
+                write!(f, "non-finite value {token:?} at line {line}")
+            }
+            FormatError::DuplicateEntry { line, row, col } => {
+                write!(
+                    f,
+                    "duplicate entry for ({row}, {col}) at line {line} (0-based indices)"
+                )
             }
             FormatError::Io(e) => write!(f, "i/o error: {e}"),
         }

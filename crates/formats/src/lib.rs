@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arbitrary;
 pub mod coo;
 pub mod csc;
 pub mod csr;

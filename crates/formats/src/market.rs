@@ -78,6 +78,11 @@ pub fn read_market<R: Read>(reader: R) -> Result<(Coo, MarketHeader), FormatErro
 
     let mut coo = Coo::new(nrows, ncols)?;
     let mut read = 0usize;
+    // Duplicate detection: Matrix Market leaves duplicate-coordinate
+    // semantics to the consumer, so accepting them would silently commit
+    // to one interpretation. Track every stored coordinate (including
+    // symmetry-expanded mirrors) and reject the second occurrence.
+    let mut seen = std::collections::BTreeSet::<(u32, u32)>::new();
     for line in lines {
         let line = line.map_err(FormatError::from)?;
         lineno += 1;
@@ -96,23 +101,46 @@ pub fn read_market<R: Read>(reader: R) -> Result<(Coo, MarketHeader), FormatErro
         }
         let v: f32 = match header.field {
             MarketField::Pattern => 1.0,
-            _ => parse_tok(it.next(), lineno, "value")?,
+            _ => {
+                let token = it.next();
+                let v: f32 = parse_tok(token, lineno, "value")?;
+                if !v.is_finite() {
+                    return Err(FormatError::NonFiniteValue {
+                        line: lineno,
+                        token: token.unwrap_or_default().to_string(),
+                    });
+                }
+                v
+            }
         };
         let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        if !seen.insert((r0, c0)) {
+            return Err(FormatError::DuplicateEntry {
+                line: lineno,
+                row: r0,
+                col: c0,
+            });
+        }
         coo.push(r0, c0, v).map_err(|e| FormatError::Parse {
             line: lineno,
             detail: e.to_string(),
         })?;
         match header.symmetry {
             MarketSymmetry::General => {}
-            MarketSymmetry::Symmetric if r0 != c0 => {
-                coo.push(c0, r0, v).map_err(|e| FormatError::Parse {
-                    line: lineno,
-                    detail: e.to_string(),
-                })?;
-            }
-            MarketSymmetry::SkewSymmetric if r0 != c0 => {
-                coo.push(c0, r0, -v).map_err(|e| FormatError::Parse {
+            MarketSymmetry::Symmetric | MarketSymmetry::SkewSymmetric if r0 != c0 => {
+                if !seen.insert((c0, r0)) {
+                    return Err(FormatError::DuplicateEntry {
+                        line: lineno,
+                        row: c0,
+                        col: r0,
+                    });
+                }
+                let mirrored = if header.symmetry == MarketSymmetry::Symmetric {
+                    v
+                } else {
+                    -v
+                };
+                coo.push(c0, r0, mirrored).map_err(|e| FormatError::Parse {
                     line: lineno,
                     detail: e.to_string(),
                 })?;
@@ -289,6 +317,76 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         let err = read_market(text.as_bytes()).unwrap_err();
         assert!(matches!(err, FormatError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {bad}\n"
+            );
+            let err = read_market(text.as_bytes()).unwrap_err();
+            match err {
+                FormatError::NonFiniteValue { line, ref token } => {
+                    assert_eq!(line, 3, "line attribution for {bad}");
+                    assert_eq!(token, bad);
+                }
+                other => panic!("expected NonFiniteValue for {bad}, got {other:?}"),
+            }
+        }
+        // Finite scientific notation still parses.
+        let ok = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5e-3\n";
+        assert!(read_market(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 3\n1 1 1.0\n2 3 2.0\n1 1 4.0\n";
+        let err = read_market(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::DuplicateEntry {
+                line: 5,
+                row: 0,
+                col: 0
+            }
+        );
+        assert!(err.to_string().contains("duplicate entry"));
+    }
+
+    #[test]
+    fn rejects_duplicate_via_symmetric_mirror() {
+        // (2,1) expands to (1,2); explicitly storing (1,2) as well is the
+        // classic both-triangles-in-a-symmetric-file mistake.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n2 1 1.0\n1 2 1.0\n";
+        let err = read_market(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, FormatError::DuplicateEntry { line: 4, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_dimensions() {
+        let big = u32::MAX as u64 + 1;
+        let text =
+            format!("%%MatrixMarket matrix coordinate real general\n{big} 2 0\n");
+        let err = read_market(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::DimensionOverflow {
+                dim: big as usize
+            }
+        );
+        // A dimension too large even for usize is a parse error, not a panic.
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    99999999999999999999999999 2 0\n";
+        assert!(matches!(
+            read_market(text.as_bytes()).unwrap_err(),
+            FormatError::Parse { .. }
+        ));
     }
 
     #[test]

@@ -407,9 +407,14 @@ pub fn bstat_tiled_dcsr_online_obs(
     // counter below are byte-identical at any thread count.
     let nstrips = nmt_formats::strip_count(shape.ncols, tile_w);
     let tiles_per_strip = nmt_formats::tile_count(n, tile_h);
-    let farm_cfg = FarmConfig::for_partitions(gpu.config().num_partitions);
-    let farm = convert_matrix_farm(csc, tile_w, tile_h, farm_cfg)
-        .map_err(|e| SimError::BadConfig(e.to_string()))?;
+    let farm_cfg =
+        FarmConfig::for_partitions(gpu.config().num_partitions).with_fault(gpu.fault_plan());
+    let farm = convert_matrix_farm(csc, tile_w, tile_h, farm_cfg).map_err(|e| match e {
+        nmt_engine::FarmError::Fault { site, key, detail } => {
+            SimError::InjectedFault { site, key, detail }
+        }
+        other => SimError::BadConfig(other.to_string()),
+    })?;
     let engine = farm.stats;
     {
         let mut convert_span = obs.span("engine.convert");

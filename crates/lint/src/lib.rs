@@ -44,6 +44,7 @@ pub const DETERMINISM_SCOPED: &[&str] = &[
     "crates/bench/src/ledger.rs",
     "crates/core/src/audit.rs",
     "crates/engine/src/farm.rs",
+    "crates/fault/src/lib.rs",
     "crates/sim/src/stats.rs",
 ];
 

@@ -46,6 +46,17 @@ pub enum SimError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// An injected fault (see `nmt-fault`) escalated past its local retry
+    /// policy. This is the planner's signal to engage degraded mode: the
+    /// per-matrix B-stationary → C-stationary fallback.
+    InjectedFault {
+        /// Site where the fault fired.
+        site: nmt_fault::FaultSite,
+        /// Instance key within the site (strip id, partition id, ...).
+        key: u64,
+        /// Human-readable description of what was injected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -62,6 +73,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "buffer access at offset {offset} beyond length {len}")
             }
             SimError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            SimError::InjectedFault { site, key, detail } => {
+                write!(f, "injected fault at {site}#{key}: {detail}")
+            }
         }
     }
 }
@@ -122,6 +136,18 @@ impl Gpu {
     /// The memory subsystem (inspection).
     pub fn memory(&self) -> &MemorySubsystem {
         &self.mem
+    }
+
+    /// Install (or clear) a fault plan on this GPU's memory subsystem.
+    /// Kernels read it back via [`Gpu::fault_plan`] to seed engine-side
+    /// fault sites from the same plan.
+    pub fn set_fault_plan(&mut self, plan: Option<nmt_fault::FaultPlan>) {
+        self.mem.set_fault_plan(plan);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<nmt_fault::FaultPlan> {
+        self.mem.fault_plan()
     }
 
     /// Allocate `bytes` of device memory accounted under `class`.

@@ -12,11 +12,17 @@ use crate::cache::{L2Slice, Probe};
 use crate::config::GpuConfig;
 use crate::stats::{TrafficBytes, TrafficClass};
 use crate::trace::{AccessKind, TraceBuffer, TraceEvent};
+use nmt_fault::{FaultPlan, FaultSite};
 
 /// DRAM/L2 transfer granularity within a cache line. GPU L2s are sectored:
 /// a 128 B line fills in 32 B sectors, so a narrow uncoalesced access
 /// only moves 32 B even though it allocates a full line tag.
 pub const SECTOR_BYTES: u64 = 32;
+
+/// Occupancy multiplier applied to an access hit by an injected DRAM
+/// latency spike ([`FaultSite::DramLatencySpike`]). Timing-only: the
+/// access still moves the same bytes and returns the same data.
+pub const DRAM_SPIKE_COST_FACTOR: f64 = 4.0;
 
 /// Running totals for one partition.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -58,10 +64,28 @@ impl FbPartition {
 
     /// Access one cache line, of which `touched` bytes (sector-rounded)
     /// are actually demanded. Returns whether it hit in L2.
-    fn access_line(&mut self, addr: u64, write: bool, cost_factor: f64, touched: u64) -> bool {
+    ///
+    /// `force_miss` models a prefetch-buffer overflow: the line may still
+    /// be resident (cache state is untouched on a hit), but the fill was
+    /// dropped and must be re-fetched, so a hit is billed as a miss.
+    fn access_line(
+        &mut self,
+        addr: u64,
+        write: bool,
+        cost_factor: f64,
+        touched: u64,
+        force_miss: bool,
+    ) -> bool {
         let line = self.l2.line_bytes();
         let touched = touched.min(line) as f64;
         match self.l2.access(addr, write) {
+            Probe::Hit if force_miss => {
+                self.counters.l2_misses += 1;
+                self.counters.dram_bytes += touched as u64;
+                self.counters.dram_busy_ns += touched * self.channel_ns_per_byte * cost_factor;
+                self.counters.l2_busy_ns += touched * self.l2_ns_per_byte * cost_factor;
+                false
+            }
             Probe::Hit => {
                 self.counters.l2_hits += 1;
                 self.counters.l2_busy_ns += touched * self.l2_ns_per_byte * cost_factor;
@@ -107,6 +131,14 @@ pub struct MemorySubsystem {
     dram: TrafficBytes,
     atomics: u64,
     trace: Option<TraceBuffer>,
+    /// Active fault plan, if any (see [`MemorySubsystem::set_fault_plan`]).
+    fault: Option<FaultPlan>,
+    /// Monotone ordinal of `access` calls — the fault key for the memory
+    /// sites. Each simulated GPU processes its accesses serially, so this
+    /// counter is deterministic and scheduling-independent.
+    access_ordinal: u64,
+    fault_dram_spikes: u64,
+    fault_prefetch_overflows: u64,
 }
 
 impl MemorySubsystem {
@@ -123,7 +155,34 @@ impl MemorySubsystem {
             dram: TrafficBytes::default(),
             atomics: 0,
             trace: None,
+            fault: None,
+            access_ordinal: 0,
+            fault_dram_spikes: 0,
+            fault_prefetch_overflows: 0,
         }
+    }
+
+    /// Install (or clear) a fault plan. Memory-site faults are
+    /// timing-only: they perturb occupancy and hit/miss accounting but
+    /// never the bytes an access observes, so kernel outputs stay
+    /// bitwise-identical under any plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// Injected DRAM latency spikes so far.
+    pub fn fault_dram_spikes(&self) -> u64 {
+        self.fault_dram_spikes
+    }
+
+    /// Injected prefetch-buffer overflows so far.
+    pub fn fault_prefetch_overflows(&self) -> u64 {
+        self.fault_prefetch_overflows
     }
 
     /// Start recording accesses into a ring of `capacity` events.
@@ -183,7 +242,23 @@ impl MemorySubsystem {
                 kind,
             });
         }
-        let cost = if atomic { self.atomic_cost_factor } else { 1.0 };
+        let mut cost = if atomic { self.atomic_cost_factor } else { 1.0 };
+        // Memory-site faults key off the per-subsystem access ordinal,
+        // which advances deterministically with the (serial) access
+        // stream — never off wall-clock or thread identity.
+        let ordinal = self.access_ordinal;
+        self.access_ordinal += 1;
+        let mut force_miss = false;
+        if let Some(plan) = self.fault {
+            if plan.fires(FaultSite::DramLatencySpike, ordinal) {
+                cost *= DRAM_SPIKE_COST_FACTOR;
+                self.fault_dram_spikes += 1;
+            }
+            if plan.fires(FaultSite::PrefetchOverflow, ordinal) {
+                force_miss = true;
+                self.fault_prefetch_overflows += 1;
+            }
+        }
         let first_line = addr / self.line_bytes;
         let last_line = (addr + nbytes - 1) / self.line_bytes;
         for line in first_line..=last_line {
@@ -195,7 +270,13 @@ impl MemorySubsystem {
             let sec_hi = (hi - line_addr).div_ceil(SECTOR_BYTES) * SECTOR_BYTES;
             let touched = (sec_hi - sec_lo).min(self.line_bytes);
             let p = self.partition_of(line_addr);
-            let hit = self.partitions[p].access_line(line_addr, write || atomic, cost, touched);
+            let hit = self.partitions[p].access_line(
+                line_addr,
+                write || atomic,
+                cost,
+                touched,
+                force_miss,
+            );
             if !hit {
                 self.dram.add(class, touched);
             }
@@ -430,5 +511,48 @@ mod tests {
         m.access(0, 0, TrafficClass::Other, false, false);
         assert_eq!(m.requested_traffic().total(), 0);
         assert_eq!(m.aggregate().l2_misses, 0);
+    }
+
+    #[test]
+    fn dram_spike_inflates_occupancy_only() {
+        let mut clean = mem();
+        clean.access(0, 128, TrafficClass::MatB, false, false);
+        let mut faulted = mem();
+        faulted.set_fault_plan(Some(FaultPlan::from_rate(1, 1.0)));
+        faulted.access(0, 128, TrafficClass::MatB, false, false);
+        assert_eq!(faulted.fault_dram_spikes(), 1);
+        // Same bytes moved, strictly more channel time.
+        assert_eq!(
+            faulted.dram_traffic().total(),
+            clean.dram_traffic().total()
+        );
+        assert!(faulted.max_partition_busy_ns() > clean.max_partition_busy_ns());
+    }
+
+    #[test]
+    fn prefetch_overflow_bills_hit_as_miss() {
+        let mut m = mem();
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        let cold = m.dram_traffic().total();
+        m.set_fault_plan(Some(FaultPlan::from_rate(2, 1.0)));
+        // Would be an L2 hit; the overflow re-bills it against DRAM.
+        m.access(0, 128, TrafficClass::MatB, false, false);
+        assert_eq!(m.fault_prefetch_overflows(), 1);
+        assert!(m.dram_traffic().total() > cold);
+        assert_eq!(m.aggregate().l2_hits, 0);
+        assert_eq!(m.aggregate().l2_misses, 2);
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_across_subsystems() {
+        let plan = FaultPlan::from_rate(1234, 0.3);
+        let run = |mut m: MemorySubsystem| {
+            m.set_fault_plan(Some(plan));
+            for i in 0..64u64 {
+                m.access(i * 4096, 128, TrafficClass::MatA, false, false);
+            }
+            (m.fault_dram_spikes(), m.fault_prefetch_overflows())
+        };
+        assert_eq!(run(mem()), run(mem()));
     }
 }

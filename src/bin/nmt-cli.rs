@@ -7,15 +7,18 @@
 //! nmt-cli convert <file.mtx> [--tile N]
 //! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
 //!                 [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+//!                 [--fault-seed N [--fault-rate F]]
 //! nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
-//!                 [--metrics-json <metrics.json>]
+//!                 [--metrics-json <metrics.json>] [--fault-seed N [--fault-rate F]]
 //! nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
 //!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
+//!                 [--fault-seed N [--fault-rate F]]
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
 //! ```
 
-use spmm_nmt::bench::{parse_scale, sweep_ledger, GateTolerance, Ledger};
+use spmm_nmt::bench::{parse_scale, sweep_ledger_faulted, GateTolerance, Ledger};
+use spmm_nmt::fault::FaultPlan;
 use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, EngineTiming};
 use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
 use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
@@ -71,18 +74,20 @@ USAGE:
   nmt-cli convert <file.mtx> [--tile N]   run the CSC->tiled-DCSR engine model
   nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
                   [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+                  [--fault-seed N [--fault-rate F]]
                                           simulate auto-tuned SpMM vs baseline;
                                           --trace-out writes a Chrome/Perfetto
                                           trace, --metrics-json the metric
                                           registry snapshot
   nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
-                  [--metrics-json <metrics.json>]
+                  [--metrics-json <metrics.json>] [--fault-seed N [--fault-rate F]]
                                           explain the planner's decision:
                                           SSF inputs, chosen vs oracle
                                           dataflow, and Table-1 predicted
                                           vs measured traffic per operand
   nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
                   [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
+                  [--fault-seed N [--fault-rate F]]
                                           sweep the synthetic suite into a
                                           schema-versioned run ledger; with
                                           --baseline, gate against it and
@@ -91,6 +96,12 @@ USAGE:
                                           default: RAYON_NUM_THREADS or the
                                           core count — results are identical
                                           at any thread count)
+
+  --fault-seed N / --fault-rate F (fraction, default 0.05) arm seeded
+  deterministic fault injection: conversion-strip faults retry once then
+  fall back per-matrix to the untiled C-stationary kernel (audited as
+  degraded mode), memory faults perturb timing only. Same seed, same
+  faults — at any thread count.
   nmt-cli suite   [--scale small|medium|paper]
                                           enumerate the synthetic suite
   nmt-cli help                            this message";
@@ -107,6 +118,30 @@ fn parse_flag<T: std::str::FromStr>(rest: &[&String], name: &str, default: T) ->
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
     }
+}
+
+/// Parse `--fault-seed N` / `--fault-rate F` into an optional
+/// [`FaultPlan`]. `--fault-rate` without `--fault-seed` is an error (a
+/// wall-clock-seeded plan would break reproducibility); `--fault-seed`
+/// alone defaults to a 5 % rate. The rate is a fraction in `[0, 1]`,
+/// stored as parts-per-million.
+fn parse_fault(rest: &[&String]) -> Result<Option<FaultPlan>, String> {
+    let seed = match flag(rest, "--fault-seed") {
+        None => {
+            if flag(rest, "--fault-rate").is_some() {
+                return Err("--fault-rate requires --fault-seed (faults must be seeded)".into());
+            }
+            return Ok(None);
+        }
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad value {v:?} for --fault-seed"))?,
+    };
+    let rate: f64 = parse_flag(rest, "--fault-rate", 0.05)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in 0.0..=1.0, got {rate}"));
+    }
+    Ok(Some(FaultPlan::from_rate(seed, rate)))
 }
 
 /// Apply `--threads N`: size the global rayon pool before any parallel
@@ -211,11 +246,13 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
     }
     let trace_out = flag(rest, "--trace-out");
     let metrics_json = flag(rest, "--metrics-json");
+    let fault = parse_fault(rest)?;
     let a = load(rest)?;
     let b = random_dense(a.shape().ncols, k, 0xB);
     let mut config = PlannerConfig::paper_default();
     config.tile_w = tile;
     config.tile_h = tile;
+    config.fault = fault;
     // Observability is free when nobody asked for an artifact.
     let observing = trace_out.is_some() || metrics_json.is_some();
     let obs = if observing {
@@ -249,6 +286,9 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
     }
     println!("SSF              : {:.4e}", report.profile.ssf);
     println!("algorithm        : {:?}", report.algorithm);
+    if let Some(fault) = &report.fault {
+        println!("degraded mode    : {fault}");
+    }
     println!(
         "baseline         : {:.2} us",
         report.baseline_stats.total_ns / 1e3
@@ -281,11 +321,13 @@ fn cmd_audit(rest: &[&String]) -> Result<(), String> {
         return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
     }
     let metrics_json = flag(rest, "--metrics-json");
+    let fault = parse_fault(rest)?;
     let a = load(rest)?;
     let b = random_dense(a.shape().ncols, k, 0xB);
     let mut config = PlannerConfig::paper_default();
     config.tile_w = tile;
     config.tile_h = tile;
+    config.fault = fault;
     // The audit always observes: its whole point is the metrics.
     let obs = ObsContext::enabled();
     let audit = SpmmPlanner::new(config)
@@ -316,8 +358,16 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
     };
     let baseline_path = flag(rest, "--baseline");
     let out = flag(rest, "--out");
-    eprintln!("sweeping {scale:?} suite through the audited planner...");
-    let ledger = sweep_ledger(scale).map_err(|e| e.to_string())?;
+    let fault = parse_fault(rest)?;
+    match fault {
+        Some(plan) => eprintln!(
+            "sweeping {scale:?} suite with fault injection (seed {:#x}, rate {:.4})...",
+            plan.seed,
+            plan.rate()
+        ),
+        None => eprintln!("sweeping {scale:?} suite through the audited planner..."),
+    }
+    let ledger = sweep_ledger_faulted(scale, fault).map_err(|e| e.to_string())?;
     println!("{}", ledger.render_summary());
     if let Some(path) = &out {
         std::fs::write(path, ledger.to_json())

@@ -8,6 +8,7 @@
 //! * [`matgen`] — deterministic synthetic matrix suite generators.
 //! * [`sim`] — warp-level, cycle-approximate GPU timing simulator.
 //! * [`engine`] — the near-memory CSC→tiled-DCSR transform engine.
+//! * [`fault`] — deterministic fault-injection plans, sites, and records.
 //! * [`kernels`] — SpMM kernels (all dataflows) + host references.
 //! * [`model`] — analytical traffic model, entropy, SSF heuristic.
 //! * [`obs`] — spans, metric registry, Chrome-trace/JSONL export.
@@ -17,6 +18,7 @@
 pub use nmt as planner;
 pub use nmt_bench as bench;
 pub use nmt_engine as engine;
+pub use nmt_fault as fault;
 pub use nmt_formats as formats;
 pub use nmt_kernels as kernels;
 pub use nmt_matgen as matgen;

@@ -6,8 +6,9 @@
 //! the bottom of that chain.
 
 use proptest::prelude::*;
+use spmm_nmt::formats::arbitrary::{self, Corruption};
 use spmm_nmt::formats::{
-    market, Coo, Csc, Csr, Dcsr, SparseMatrix, StorageSize, TiledCsr, TiledDcsr,
+    market, Coo, Csc, Csr, Dcsr, FormatError, SparseMatrix, StorageSize, TiledCsr, TiledDcsr,
 };
 
 /// Strategy: a random COO matrix with dims in [1, 64] and up to 200
@@ -110,6 +111,58 @@ proptest! {
     fn transpose_is_involutive(coo in coo_strategy()) {
         let csr = Csr::from_coo(&coo);
         prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn arbitrary_matrices_validate_and_roundtrip(csr in arbitrary::csr_strategy()) {
+        prop_assert!(csr.validate().is_ok());
+        prop_assert_eq!(csr.to_csc().to_csr(), csr.clone());
+        prop_assert_eq!(Csr::from_coo(&csr.to_coo()), csr);
+    }
+
+    #[test]
+    fn arbitrary_csc_validates_and_roundtrips(csc in arbitrary::csc_strategy()) {
+        prop_assert!(csc.validate().is_ok());
+        prop_assert_eq!(csc.to_csr().to_csc(), csc);
+    }
+
+    #[test]
+    fn arbitrary_tilings_validate_and_roundtrip(tdcsr in arbitrary::tiled_dcsr_strategy()) {
+        prop_assert!(tdcsr.validate().is_ok());
+        // Untile then re-tile at the same edges: identity.
+        let back = TiledDcsr::from_csr(
+            &tdcsr.to_csr(),
+            tdcsr.tile_width(),
+            tdcsr.tile_height(),
+        ).expect("retiling a valid matrix succeeds");
+        prop_assert_eq!(back, tdcsr);
+    }
+
+    #[test]
+    fn corrupted_variants_reject_without_panicking(
+        csr in arbitrary::csr_strategy(),
+        tdcsr in arbitrary::tiled_dcsr_strategy(),
+    ) {
+        let csc = csr.to_csc();
+        for kind in Corruption::ALL {
+            if let Some(verdict) = arbitrary::corrupt_csr(&csr, kind) {
+                prop_assert!(
+                    matches!(verdict, Err(FormatError::NotCanonical { .. })
+                        | Err(FormatError::LengthMismatch { .. })
+                        | Err(FormatError::MalformedPointerArray { .. })
+                        | Err(FormatError::IndexOutOfBounds { .. })),
+                    "CSR validator accepted or mis-typed {kind:?}"
+                );
+            }
+            if let Some(verdict) = arbitrary::corrupt_csc(&csc, kind) {
+                prop_assert!(verdict.is_err(), "CSC validator accepted {kind:?}");
+            }
+            for (_, _, tile) in tdcsr.iter_tiles() {
+                if let Some(verdict) = arbitrary::corrupt_tile(tile, kind) {
+                    prop_assert!(verdict.is_err(), "tile validator accepted {kind:?}");
+                }
+            }
+        }
     }
 }
 

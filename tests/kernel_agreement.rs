@@ -1,13 +1,18 @@
 //! All seven simulated SpMM dataflows must agree with the host reference
 //! (and therefore with each other) on arbitrary inputs, while exhibiting
-//! the hardware behaviours the paper attributes to them.
+//! the hardware behaviours the paper attributes to them — including the
+//! degraded-mode path: a faulted-then-fallback plan must produce the
+//! bitwise-identical `C` of the fault-free C-stationary reference.
 
 use proptest::prelude::*;
+use spmm_nmt::fault::FaultPlan;
 use spmm_nmt::formats::{Coo, Csr, Dcsr, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
 use spmm_nmt::kernels::{
     astat_tiled, bstat_tiled_csr, bstat_tiled_dcsr_offline, bstat_tiled_dcsr_online,
     csrmm_cusparse, csrmm_row_per_thread, csrmm_row_per_warp, dcsrmm_row_per_warp, host,
 };
+use spmm_nmt::model::ssf::SsfThreshold;
+use spmm_nmt::planner::planner::{Algorithm, PlannerConfig, SpmmPlanner};
 use spmm_nmt::sim::{Gpu, GpuConfig, TrafficClass};
 
 fn gpu() -> Gpu {
@@ -111,6 +116,33 @@ proptest! {
         let b = s.stall_breakdown();
         prop_assert!((b.memory + b.sm + b.other - 1.0).abs() < 1e-6);
         prop_assert!(b.memory >= 0.0 && b.sm >= 0.0 && b.other >= 0.0);
+    }
+
+    #[test]
+    fn faulted_fallback_matches_fault_free_cstationary((a, b) in case_strategy()) {
+        // Force the heuristic onto the engine path and make every
+        // conversion strip fault (rate 1.0): the plan must degrade to the
+        // untiled C-stationary kernel and produce the bitwise-identical C
+        // of a fault-free run that was routed to C-stationary directly.
+        // Memory-site faults only perturb timing, never arithmetic, so
+        // exact equality — not approx — is the contract.
+        let forced_b = SsfThreshold { threshold: f64::NEG_INFINITY, accuracy: 1.0 };
+        let forced_c = SsfThreshold { threshold: f64::INFINITY, accuracy: 1.0 };
+        let mut faulted_cfg = PlannerConfig::test_small().with_fault(
+            Some(FaultPlan::new(0xD1FF, 1_000_000)));
+        faulted_cfg.threshold = forced_b;
+        let mut clean_cfg = PlannerConfig::test_small();
+        clean_cfg.threshold = forced_c;
+
+        let faulted = SpmmPlanner::new(faulted_cfg).execute(&a, &b).expect("degraded run");
+        let clean = SpmmPlanner::new(clean_cfg).execute(&a, &b).expect("clean run");
+
+        prop_assert_eq!(faulted.algorithm, Algorithm::CStationaryDcsr);
+        prop_assert!(faulted.fault.as_ref().is_some_and(|f| f.fell_back),
+            "full-rate plan must record an audited fallback");
+        prop_assert_eq!(clean.algorithm, Algorithm::CStationaryDcsr);
+        prop_assert!(clean.fault.is_none());
+        prop_assert_eq!(faulted.c, clean.c);
     }
 
     #[test]
