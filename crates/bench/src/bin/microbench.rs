@@ -1,0 +1,131 @@
+//! `microbench` — statistical microbenchmarks for the three hot paths the
+//! profiler attributes most time to: the parallel conversion farm, the
+//! B-stationary online kernel, and the comparator tree's frontier
+//! min-scan. Each target runs through the harness (warmup, fixed
+//! iteration count, MAD outlier rejection, bootstrap CIs) and prints one
+//! table row; CI runs the reduced `--iters`/`--warmup` variant as a
+//! smoke check.
+//!
+//! ```text
+//! microbench [--iters N] [--warmup N] [--n N] [--k N] [--tile N]
+//! ```
+
+use nmt_bench::harness::{run, BenchConfig};
+use nmt_bench::{print_table, EXPERIMENT_SEED};
+use nmt_engine::{convert_matrix_farm, ComparatorTree, FarmConfig};
+use nmt_formats::SparseMatrix;
+use nmt_kernels::bstat_tiled_dcsr_online;
+use nmt_matgen::{random_dense, GenKind, MatrixDesc};
+use nmt_sim::{Gpu, GpuConfig};
+use std::process::ExitCode;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run_benches() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_benches() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = BenchConfig::default();
+    cfg.iters = parse_flag(&args, "--iters", cfg.iters)?;
+    cfg.warmup = parse_flag(&args, "--warmup", cfg.warmup)?;
+    if cfg.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    let n: usize = parse_flag(&args, "--n", 512)?;
+    let k: usize = parse_flag(&args, "--k", 32)?;
+    let tile: usize = parse_flag(&args, "--tile", 16)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
+
+    // One deterministic operand set shared by every target.
+    let a = nmt_matgen::generate(&MatrixDesc::new(
+        "microbench",
+        n,
+        GenKind::ZipfRows {
+            density: 0.01,
+            exponent: 1.1,
+        },
+        EXPERIMENT_SEED,
+    ));
+    let csc = a.to_csc();
+    let b = random_dense(a.shape().ncols, k, EXPERIMENT_SEED ^ 0x16);
+
+    println!(
+        "microbench: n = {n}, nnz = {}, k = {k}, tile = {tile}, {} iters after {} warmup",
+        a.nnz(),
+        cfg.iters,
+        cfg.warmup
+    );
+
+    let mut rows = Vec::new();
+    let mut add_row = |name: &str, stats: nmt_bench::BenchStats| {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", stats.median_ns / 1e3),
+            format!("{:.1}", stats.ci_lo_ns / 1e3),
+            format!("{:.1}", stats.ci_hi_ns / 1e3),
+            format!("{:.1}", stats.mad_ns / 1e3),
+            format!("{}", stats.samples),
+            format!("{}", stats.rejected),
+        ]);
+    };
+
+    // 1. The conversion farm: CSC -> tiled DCSR across FB partitions.
+    let farm_cfg = FarmConfig::paper_default();
+    let stats = run(&cfg, || {
+        let farm = convert_matrix_farm(&csc, tile, tile, farm_cfg)
+            .expect("clean farm conversion cannot fail");
+        std::hint::black_box(farm.stats.elements);
+    });
+    add_row("farm_convert", stats);
+
+    // 2. The B-stationary online kernel (engine + kernel pipeline).
+    let stats = run(&cfg, || {
+        let mut gpu = Gpu::new(GpuConfig::test_small()).expect("test GPU config is valid");
+        let out = bstat_tiled_dcsr_online(&mut gpu, &csc, &b, tile, tile)
+            .expect("online kernel runs on a clean matrix");
+        std::hint::black_box(out.run.stats.total_ns);
+    });
+    add_row("bstat_online", stats);
+
+    // 3. The comparator tree's frontier min-scan, the engine's inner loop.
+    let tree = ComparatorTree::new(tile);
+    let coords: Vec<Option<u32>> = (0..tile)
+        .map(|i| (i % 3 != 0).then_some(((i * 37) % 101) as u32))
+        .collect();
+    let stats = run(&cfg, || {
+        for _ in 0..1024 {
+            std::hint::black_box(tree.find_min(std::hint::black_box(&coords)));
+        }
+    });
+    add_row("find_min_x1024", stats);
+
+    print_table(
+        &[
+            "target", "median_us", "ci_lo_us", "ci_hi_us", "mad_us", "kept", "rejected",
+        ],
+        &rows,
+    );
+    Ok(())
+}

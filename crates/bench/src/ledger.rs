@@ -10,6 +10,8 @@
 //! the same suite at the same seed twice produces **byte-identical**
 //! files — which is what makes [`Ledger::gate`] a meaningful diff.
 
+use crate::harness::{summarize, BenchConfig};
+use crate::progress::ProgressReporter;
 use crate::{experiment_gpu, experiment_k, experiment_tile, geomean, EXPERIMENT_SEED};
 use nmt::planner::{PlannerConfig, SpmmPlanner, DEFAULT_SSF_THRESHOLD};
 use nmt::DecisionAudit;
@@ -17,7 +19,7 @@ use nmt_fault::{FaultPlan, FaultRecord};
 use nmt_formats::SparseMatrix;
 use nmt_matgen::{random_dense, SuiteScale, SuiteSpec};
 use nmt_model::ssf::Choice;
-use nmt_obs::{MetricRegistry, ObsContext};
+use nmt_obs::{MetricRegistry, ObsContext, Phase, Profiler};
 use nmt_sim::SimError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -33,7 +35,13 @@ use std::collections::BTreeMap;
 /// identity (`fault_seed` / `fault_rate_ppm`, both null on clean sweeps)
 /// and error rows carry fault attribution, so a faulted sweep can never
 /// be mistaken for (or gated against) a clean baseline.
-pub const LEDGER_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: measured wall-time — an optional `perf` section (per-matrix,
+/// per-phase medians with bootstrap confidence intervals from the
+/// harness) consumed by the noise-aware [`Ledger::perf_gate`]. `perf` is
+/// `null` unless the sweep ran with `--perf`, so the default ledger stays
+/// byte-identical across runs and thread counts.
+pub const LEDGER_SCHEMA_VERSION: u32 = 4;
 
 /// A matrix whose sweep failed: recorded instead of aborting the corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,6 +159,85 @@ pub struct CorpusSummary {
     pub model_mean_abs_rel_err: f64,
 }
 
+/// Measured wall-time statistics for one phase of one matrix, produced
+/// by the harness ([`crate::harness::summarize`]) over repeated
+/// planner-execute iterations. Times come from the span tree's self-time
+/// attribution, so phases partition each iteration exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePerf {
+    /// Phase name (`parse`/`plan`/`convert`/`kernel`/`reduce`/`other`).
+    pub phase: String,
+    /// Median self-time, ns.
+    pub median_ns: f64,
+    /// Scaled MAD of the retained samples, ns.
+    pub mad_ns: f64,
+    /// Bootstrap 95% CI lower bound on the median, ns.
+    pub ci_lo_ns: f64,
+    /// Bootstrap 95% CI upper bound on the median, ns.
+    pub ci_hi_ns: f64,
+    /// Samples retained after outlier rejection.
+    pub samples: u64,
+    /// Samples rejected as outliers.
+    pub rejected: u64,
+    /// Median allocations attributed to the phase (0 when the counting
+    /// allocator is not installed).
+    pub alloc_count: f64,
+    /// Median bytes allocated in the phase (0 without the allocator).
+    pub alloc_bytes: f64,
+}
+
+/// Per-matrix perf record: total wall-time plus the per-phase breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixPerf {
+    /// Suite matrix name.
+    pub matrix: String,
+    /// Median end-to-end wall-time per iteration, ns.
+    pub total_median_ns: f64,
+    /// Bootstrap CI lower bound on the total median, ns.
+    pub total_ci_lo_ns: f64,
+    /// Bootstrap CI upper bound on the total median, ns.
+    pub total_ci_hi_ns: f64,
+    /// Per-phase statistics, in pipeline order (all six phases present).
+    pub phases: Vec<PhasePerf>,
+}
+
+/// The ledger's optional measured-performance section (schema v4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSection {
+    /// Untimed warmup iterations per matrix.
+    pub warmup: u64,
+    /// Timed iterations per matrix.
+    pub iters: u64,
+    /// Bootstrap resamples behind every CI.
+    pub resamples: u64,
+    /// Per-matrix records, in suite order.
+    pub matrices: Vec<MatrixPerf>,
+}
+
+/// Noise tolerance for [`Ledger::perf_gate`]: a run median must exceed
+/// the baseline's CI upper bound by both the relative margin and the
+/// absolute slack before it counts as a regression. The slack keeps
+/// microsecond-scale phases (where a scheduler blip is a large fraction)
+/// from firing the gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfTolerance {
+    /// Relative headroom above the baseline CI (0.5 = 50%).
+    pub margin_frac: f64,
+    /// Absolute headroom, ns.
+    pub abs_slack_ns: f64,
+}
+
+impl Default for PerfTolerance {
+    fn default() -> Self {
+        Self {
+            // Generous by default: CI machines differ; tighten locally
+            // with --perf-margin for same-machine comparisons.
+            margin_frac: 0.5,
+            abs_slack_ns: 100_000.0,
+        }
+    }
+}
+
 /// A full suite sweep: rows plus summary, versioned for diffing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ledger {
@@ -177,6 +264,10 @@ pub struct Ledger {
     pub errors: Vec<ErrorRow>,
     /// Corpus aggregates.
     pub summary: CorpusSummary,
+    /// Measured wall-time statistics (`--perf` sweeps only; `None` keeps
+    /// the default ledger deterministic down to the byte). Absent fields
+    /// in pre-v4 files parse as `None`.
+    pub perf: Option<PerfSection>,
 }
 
 /// Tolerances for [`Ledger::gate`].
@@ -316,6 +407,7 @@ impl Ledger {
             rows,
             errors,
             summary,
+            perf: None,
         }
     }
 
@@ -452,6 +544,89 @@ impl Ledger {
             Err(regressions)
         }
     }
+
+    /// Noise-aware wall-time gate: compare this run's `perf` section
+    /// against `baseline`'s.
+    ///
+    /// A matrix (total or phase) regresses only when the run's median
+    /// lies above the **baseline's CI upper bound** scaled by
+    /// `tol.margin_frac` plus `tol.abs_slack_ns` — so the gate is quiet
+    /// on timer jitter (which stays inside the CI) and strict on real
+    /// slowdowns (which move the median past any plausible noise band).
+    /// Ledgers without perf data on either side pass with a note: the
+    /// deterministic byte-identity sweeps never carry timings.
+    pub fn perf_gate(
+        &self,
+        baseline: &Ledger,
+        tol: PerfTolerance,
+    ) -> Result<Vec<String>, Vec<String>> {
+        let mut regressions = Vec::new();
+        let mut notes = Vec::new();
+        if self.schema_version != baseline.schema_version {
+            return Err(vec![format!(
+                "schema version changed: baseline v{} vs run v{} — refresh the baseline",
+                baseline.schema_version, self.schema_version
+            )]);
+        }
+        let (run, base) = match (&self.perf, &baseline.perf) {
+            (Some(r), Some(b)) => (r, b),
+            (r, b) => {
+                notes.push(format!(
+                    "perf gate skipped: perf section {} in run, {} in baseline",
+                    if r.is_some() { "present" } else { "absent" },
+                    if b.is_some() { "present" } else { "absent" },
+                ));
+                return Ok(notes);
+            }
+        };
+        let ceiling = |ci_hi: f64| ci_hi * (1.0 + tol.margin_frac) + tol.abs_slack_ns;
+        for bm in &base.matrices {
+            let Some(rm) = run.matrices.iter().find(|m| m.matrix == bm.matrix) else {
+                regressions.push(format!(
+                    "perf matrix set changed: '{}' in baseline but not in run — refresh the baseline",
+                    bm.matrix
+                ));
+                continue;
+            };
+            let limit = ceiling(bm.total_ci_hi_ns);
+            if rm.total_median_ns > limit {
+                regressions.push(format!(
+                    "{}: total regressed: median {:.0} ns > ceiling {:.0} ns \
+                     (baseline CI [{:.0}, {:.0}] ns + {:.0}% + {:.0} ns slack)",
+                    bm.matrix,
+                    rm.total_median_ns,
+                    limit,
+                    bm.total_ci_lo_ns,
+                    bm.total_ci_hi_ns,
+                    tol.margin_frac * 100.0,
+                    tol.abs_slack_ns
+                ));
+            } else {
+                notes.push(format!(
+                    "{}: total median {:.0} ns within ceiling {:.0} ns — ok",
+                    bm.matrix, rm.total_median_ns, limit
+                ));
+            }
+            for bp in &bm.phases {
+                let Some(rp) = rm.phases.iter().find(|p| p.phase == bp.phase) else {
+                    continue;
+                };
+                let limit = ceiling(bp.ci_hi_ns);
+                if rp.median_ns > limit {
+                    regressions.push(format!(
+                        "{}/{}: phase regressed: median {:.0} ns > ceiling {:.0} ns \
+                         (baseline CI [{:.0}, {:.0}] ns)",
+                        bm.matrix, bp.phase, rp.median_ns, limit, bp.ci_lo_ns, bp.ci_hi_ns
+                    ));
+                }
+            }
+        }
+        if regressions.is_empty() {
+            Ok(notes)
+        } else {
+            Err(regressions)
+        }
+    }
 }
 
 impl LedgerRow {
@@ -488,6 +663,27 @@ pub fn sweep_ledger_faulted(
     scale: SuiteScale,
     fault: Option<FaultPlan>,
 ) -> Result<Ledger, SimError> {
+    sweep_ledger_instrumented(scale, fault, None, None)
+}
+
+/// [`sweep_ledger_faulted`] with the observability extras wired in:
+///
+/// * `progress` — a [`ProgressReporter`] fed from inside the parallel
+///   sweep (per-matrix phase updates + completion counts). Reporting only
+///   observes; the ledger bytes are unaffected.
+/// * `perf` — when set, a **serial** wall-time measurement pass runs
+///   after the deterministic sweep and attaches a [`PerfSection`]
+///   (per-matrix, per-phase medians + bootstrap CIs over `perf.iters`
+///   instrumented repetitions, with allocation counters gathered by the
+///   counting allocator when it is installed). The pass is serial so one
+///   matrix's timing never contends with another's; the audit rows are
+///   still the parallel sweep's byte-identical output.
+pub fn sweep_ledger_instrumented(
+    scale: SuiteScale,
+    fault: Option<FaultPlan>,
+    perf: Option<&BenchConfig>,
+    progress: Option<&ProgressReporter>,
+) -> Result<Ledger, SimError> {
     let tile = experiment_tile(scale);
     let k = experiment_k(scale);
     let config = PlannerConfig {
@@ -505,6 +701,9 @@ pub fn sweep_ledger_faulted(
     let outcomes: Vec<(String, Outcome)> = suite
         .par_iter()
         .map(|(desc, built)| {
+            if let Some(p) = progress {
+                p.update(&desc.name, "audit");
+            }
             let audit = match built {
                 Err(e) => Err((e.to_string(), None)),
                 Ok(a) => {
@@ -529,6 +728,9 @@ pub fn sweep_ledger_faulted(
                         })
                 }
             };
+            if let Some(p) = progress {
+                p.matrix_done(&desc.name);
+            }
             (desc.name.clone(), audit)
         })
         .collect();
@@ -544,7 +746,7 @@ pub fn sweep_ledger_faulted(
             }),
         }
     }
-    Ok(Ledger::from_sweep_faulted(
+    let mut ledger = Ledger::from_sweep_faulted(
         scale,
         EXPERIMENT_SEED,
         k,
@@ -552,7 +754,114 @@ pub fn sweep_ledger_faulted(
         fault,
         &audits,
         errors,
-    ))
+    );
+    if let Some(cfg) = perf {
+        ledger.perf = Some(measure_perf(&suite, &config, k, cfg, progress));
+    }
+    Ok(ledger)
+}
+
+/// The serial wall-time pass behind `--perf`: rerun each buildable suite
+/// matrix through the **instrumented** planner `cfg.warmup + cfg.iters`
+/// times, attribute each repetition's spans to phases with
+/// [`Profiler::analyze`], and summarize the per-phase self-time samples
+/// with the statistical harness.
+///
+/// Allocation counting is switched on for the duration of the pass (a
+/// no-op unless the binary installed [`nmt_obs::CountingAlloc`] as its
+/// global allocator) and restored afterwards. Matrices that fail to build
+/// or to run are simply absent from the section — their failure is already
+/// recorded in the ledger's error rows.
+fn measure_perf(
+    suite: &[(nmt_matgen::MatrixDesc, Result<nmt_formats::Csr, nmt_matgen::MatgenError>)],
+    config: &PlannerConfig,
+    k: usize,
+    cfg: &BenchConfig,
+    progress: Option<&ProgressReporter>,
+) -> PerfSection {
+    let was_counting = nmt_obs::alloc::enable_counting(true);
+    let mut matrices = Vec::new();
+    for (desc, built) in suite {
+        let Ok(a) = built else { continue };
+        if let Some(p) = progress {
+            p.update(&desc.name, "perf");
+        }
+        let planner = SpmmPlanner::new(config.clone());
+        // One instrumented repetition: spans + counters land in a fresh
+        // recorder, then the profiler folds them into per-phase self time.
+        let measure = || -> Option<nmt_obs::Profile> {
+            let obs = ObsContext::enabled();
+            {
+                let mut s = obs.span("matgen.generate");
+                let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
+                s.counter("cells", (b.nrows() * b.ncols()) as f64);
+                drop(s);
+                planner.execute_with_obs(a, &b, &obs).ok()?;
+            }
+            Some(Profiler::analyze(&obs.recorder.snapshot()))
+        };
+        for _ in 0..cfg.warmup {
+            if measure().is_none() {
+                break;
+            }
+        }
+        let mut window_samples = Vec::with_capacity(cfg.iters as usize);
+        let mut phase_samples: BTreeMap<Phase, Vec<f64>> = BTreeMap::new();
+        let mut phase_allocs: BTreeMap<Phase, (f64, f64)> = BTreeMap::new();
+        for _ in 0..cfg.iters {
+            let Some(profile) = measure() else { break };
+            window_samples.push(profile.window_ns as f64);
+            for (phase, totals) in &profile.phases {
+                phase_samples
+                    .entry(*phase)
+                    .or_default()
+                    .push(totals.self_ns as f64);
+                let acc = phase_allocs.entry(*phase).or_default();
+                acc.0 += totals.alloc_count as f64;
+                acc.1 += totals.alloc_bytes as f64;
+            }
+        }
+        // A matrix whose instrumented run errors (e.g. under fault
+        // injection) contributes nothing; its error row tells the story.
+        if window_samples.len() < cfg.iters as usize {
+            continue;
+        }
+        let total = summarize(&window_samples, cfg);
+        let n = window_samples.len() as f64;
+        let phases = phase_samples
+            .iter()
+            .filter(|(_, samples)| samples.iter().any(|&s| s > 0.0))
+            .map(|(phase, samples)| {
+                let stats = summarize(samples, cfg);
+                let (count, bytes) = phase_allocs.get(phase).copied().unwrap_or_default();
+                PhasePerf {
+                    phase: phase.name().to_string(),
+                    median_ns: stats.median_ns,
+                    mad_ns: stats.mad_ns,
+                    ci_lo_ns: stats.ci_lo_ns,
+                    ci_hi_ns: stats.ci_hi_ns,
+                    samples: stats.samples,
+                    rejected: stats.rejected,
+                    alloc_count: count / n,
+                    alloc_bytes: bytes / n,
+                }
+            })
+            .collect();
+        matrices.push(MatrixPerf {
+            matrix: desc.name.clone(),
+            total_median_ns: total.median_ns,
+            total_ci_lo_ns: total.ci_lo_ns,
+            total_ci_hi_ns: total.ci_hi_ns,
+            phases,
+        });
+    }
+    nmt_obs::alloc::enable_counting(was_counting);
+    PerfSection {
+        warmup: u64::from(cfg.warmup),
+        iters: u64::from(cfg.iters),
+        resamples: u64::from(cfg.resamples),
+        matrices,
+    }
 }
 
 #[cfg(test)]
@@ -740,5 +1049,150 @@ mod tests {
         assert_eq!(ledger_filename(SuiteScale::Small), "BENCH_small.json");
         assert_eq!(ledger_filename(SuiteScale::Medium), "BENCH_medium.json");
         assert_eq!(ledger_filename(SuiteScale::Paper), "BENCH_paper.json");
+    }
+
+    /// A synthetic perf section whose timings scale with `scale_ns`, so a
+    /// doctored (shrunken) baseline is one call away.
+    fn perf_section(scale_ns: f64) -> PerfSection {
+        PerfSection {
+            warmup: 1,
+            iters: 8,
+            resamples: 100,
+            matrices: vec![MatrixPerf {
+                matrix: "m0".to_string(),
+                total_median_ns: 1_000_000.0 * scale_ns,
+                total_ci_lo_ns: 900_000.0 * scale_ns,
+                total_ci_hi_ns: 1_100_000.0 * scale_ns,
+                phases: vec![PhasePerf {
+                    phase: "kernel".to_string(),
+                    median_ns: 600_000.0 * scale_ns,
+                    mad_ns: 10_000.0 * scale_ns,
+                    ci_lo_ns: 550_000.0 * scale_ns,
+                    ci_hi_ns: 650_000.0 * scale_ns,
+                    samples: 8,
+                    rejected: 0,
+                    alloc_count: 10.0,
+                    alloc_bytes: 4096.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn perf_gate_skips_without_perf_sections() {
+        let ledger = quick_ledger(17);
+        let notes = ledger
+            .perf_gate(&ledger, PerfTolerance::default())
+            .expect("no perf on either side is a skip, not a failure");
+        assert!(notes[0].contains("skipped"), "{notes:?}");
+
+        let mut with = ledger.clone();
+        with.perf = Some(perf_section(1.0));
+        let notes = with
+            .perf_gate(&ledger, PerfTolerance::default())
+            .expect("one-sided perf also skips");
+        assert!(notes[0].contains("absent in baseline"), "{notes:?}");
+    }
+
+    #[test]
+    fn perf_gate_passes_identical_and_fires_on_doctored_baseline() {
+        let mut run = quick_ledger(19);
+        run.perf = Some(perf_section(1.0));
+        let notes = run
+            .perf_gate(&run, PerfTolerance::default())
+            .expect("identical run passes");
+        assert!(notes.iter().any(|n| n.contains("within ceiling")), "{notes:?}");
+
+        // Median drift above the baseline CI but inside the noise margin
+        // still passes: 1.2 ms median vs a 1.1 ms CI-hi * 1.5 ceiling.
+        let mut wobble = run.clone();
+        let mut p = perf_section(1.0);
+        p.matrices[0].total_median_ns = 1_200_000.0;
+        wobble.perf = Some(p);
+        assert!(wobble.perf_gate(&run, PerfTolerance::default()).is_ok());
+
+        // A baseline doctored 1000x faster puts the run far past any
+        // noise band: both the total and the phase gates must fire.
+        let mut doctored = run.clone();
+        doctored.perf = Some(perf_section(0.001));
+        let errs = run
+            .perf_gate(&doctored, PerfTolerance::default())
+            .expect_err("doctored baseline must fire");
+        assert!(errs.iter().any(|e| e.contains("total regressed")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("phase regressed")), "{errs:?}");
+    }
+
+    #[test]
+    fn perf_gate_flags_matrix_set_change() {
+        let mut run = quick_ledger(21);
+        run.perf = Some(perf_section(1.0));
+        let mut base = run.clone();
+        let mut p = perf_section(1.0);
+        p.matrices[0].matrix = "renamed".to_string();
+        base.perf = Some(p);
+        let errs = run
+            .perf_gate(&base, PerfTolerance::default())
+            .expect_err("baseline matrix missing from run");
+        assert!(errs[0].contains("matrix set changed"), "{errs:?}");
+    }
+
+    #[test]
+    fn perf_section_roundtrips_and_missing_field_parses_as_none() {
+        let mut ledger = quick_ledger(23);
+        ledger.perf = Some(perf_section(1.0));
+        let back = Ledger::from_json(&ledger.to_json()).expect("parses");
+        assert_eq!(back, ledger);
+
+        // Pre-v4 files have no `perf` key at all; the Option must land as
+        // None. Strip the serialized null (and its leading comma) to
+        // reproduce that shape.
+        let clean = quick_ledger(23);
+        let json = clean.to_json();
+        let start = json.find("\"perf\"").expect("perf field serialized");
+        let comma = json[..start].rfind(',').expect("comma before perf");
+        let null_end = start + json[start..].find("null").expect("null perf") + 4;
+        let stripped = format!("{}{}", &json[..comma], &json[null_end..]);
+        let back = Ledger::from_json(&stripped).expect("parses without a perf key");
+        assert_eq!(back.perf, None);
+        assert_eq!(back, clean);
+    }
+
+    #[test]
+    fn measure_perf_attributes_phases_over_quick_suite() {
+        let config = PlannerConfig::test_small();
+        let suite: Vec<_> = SuiteSpec::quick(29)
+            .build()
+            .into_iter()
+            .map(|(desc, csr)| (desc, Ok(csr)))
+            .collect();
+        let mut cfg = BenchConfig::smoke();
+        cfg.warmup = 1;
+        cfg.iters = 3;
+        let section = measure_perf(&suite, &config, 8, &cfg, None);
+        assert_eq!(section.iters, 3);
+        assert_eq!(section.matrices.len(), suite.len(), "quick suite all builds");
+        for m in &section.matrices {
+            assert!(m.total_median_ns > 0.0, "{}: window must be timed", m.matrix);
+            assert!(m.total_ci_lo_ns <= m.total_median_ns);
+            assert!(m.total_median_ns <= m.total_ci_hi_ns);
+            assert!(!m.phases.is_empty(), "{}: phases attributed", m.matrix);
+            for p in &m.phases {
+                assert!(
+                    Phase::from_name(&p.phase).is_some(),
+                    "unknown phase name {:?}",
+                    p.phase
+                );
+                assert_eq!(
+                    p.samples + p.rejected,
+                    3,
+                    "every iteration sampled (kept + MAD-rejected)"
+                );
+            }
+            assert!(
+                m.phases.iter().any(|p| p.phase == Phase::Kernel.name()),
+                "{}: the baseline kernel always runs",
+                m.matrix
+            );
+        }
     }
 }

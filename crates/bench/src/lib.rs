@@ -6,12 +6,17 @@ use nmt_formats::Csr;
 use nmt_matgen::{MatrixDesc, SuiteScale, SuiteSpec};
 use rayon::prelude::*;
 
+pub mod harness;
 pub mod ledger;
+pub mod progress;
 
+pub use harness::{median, summarize, BenchConfig, BenchStats};
 pub use ledger::{
-    ledger_filename, scale_label, sweep_ledger, sweep_ledger_faulted, CorpusSummary, ErrorRow,
-    GateTolerance, LatencyPercentiles, Ledger, LedgerRow, LEDGER_SCHEMA_VERSION,
+    ledger_filename, scale_label, sweep_ledger, sweep_ledger_faulted, sweep_ledger_instrumented,
+    CorpusSummary, ErrorRow, GateTolerance, LatencyPercentiles, Ledger, LedgerRow, MatrixPerf,
+    PerfSection, PerfTolerance, PhasePerf, LEDGER_SCHEMA_VERSION,
 };
+pub use progress::ProgressReporter;
 
 /// The seed shared by every experiment so figures are reproducible.
 pub const EXPERIMENT_SEED: u64 = 0x5C19;

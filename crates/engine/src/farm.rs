@@ -274,6 +274,29 @@ pub fn convert_matrix_farm(
     tile_h: usize,
     config: FarmConfig,
 ) -> Result<FarmRun, FarmError> {
+    convert_matrix_farm_obs(csc, tile_w, tile_h, config, &nmt_obs::ObsContext::disabled())
+}
+
+/// [`convert_matrix_farm`] with worker-side observability: the whole farm
+/// runs under an `engine.farm` span, every strip conversion records an
+/// `engine.farm.strip` span **on the rayon worker that ran it** (so the
+/// trace shows one lane per worker and the profiler can compute busy/idle
+/// and strips-in-flight), and the index-ordered reduction is wrapped in
+/// `engine.farm.reduce`. Spans never feed back into the conversion:
+/// outputs stay byte-identical to [`convert_matrix_farm`] at any thread
+/// count, with or without a live recorder.
+pub fn convert_matrix_farm_obs(
+    csc: &Csc,
+    tile_w: usize,
+    tile_h: usize,
+    config: FarmConfig,
+    obs: &nmt_obs::ObsContext,
+) -> Result<FarmRun, FarmError> {
+    // Spans are skipped (not opened-and-dropped) on a disabled context:
+    // a dead span still costs a sink lock on drop, which would serialize
+    // the per-strip workers for nothing.
+    let watching = obs.is_enabled();
+    let _farm_span = watching.then(|| obs.span("engine.farm"));
     if config.partitions == 0 {
         return Err(PlacementError::NoPartitions.into());
     }
@@ -308,13 +331,20 @@ pub fn convert_matrix_farm(
     let nstrips = nmt_formats::strip_count(csc.shape().ncols, tile_w);
     let outputs: Vec<Result<(StripOutput, Vec<FaultRecord>), FarmError>> = (0..nstrips)
         .into_par_iter()
-        .map(|s| convert_strip_faulted(csc, s, tile_w, tile_h, config.fault))
+        .map(|s| {
+            let mut strip_span = watching.then(|| obs.span("engine.farm.strip"));
+            if let Some(sp) = strip_span.as_mut() {
+                sp.counter("strip", s as f64);
+            }
+            convert_strip_faulted(csc, s, tile_w, tile_h, config.fault)
+        })
         .collect();
 
     // Deterministic reduction: strips ascending, tiles ascending within a
     // strip, partition collectors indexed (not ordered by completion). A
     // failed strip surfaces as the *lowest-strip-id* error regardless of
     // which worker hit it first in wall-clock terms.
+    let _reduce_span = watching.then(|| obs.span("engine.farm.reduce"));
     let cost = SwitchCost { lanes: tile_w };
     let mut per_partition = vec![PartitionWork::default(); config.partitions];
     let mut per_strip = Vec::with_capacity(nstrips);

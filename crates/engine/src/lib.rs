@@ -39,7 +39,10 @@ pub use comparator::{ComparatorTree, MinResult, TreeStructure};
 pub use convert::{
     convert_matrix, convert_matrix_dcsc, publish_conversion, ConversionStats, StripConverter,
 };
-pub use farm::{convert_matrix_farm, publish_farm, FarmConfig, FarmError, FarmRun, PartitionWork};
+pub use farm::{
+    convert_matrix_farm, convert_matrix_farm_obs, publish_farm, FarmConfig, FarmError, FarmRun,
+    PartitionWork,
+};
 pub use pipeline::{publish_pipeline, simulate_strip, PipelineConfig, PipelineResult};
 pub use placement::{imbalance, partition_loads, Layout, PlacementError, SwitchCost};
 pub use timing::{EngineTiming, PrefetchBuffer};

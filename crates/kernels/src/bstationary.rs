@@ -19,7 +19,7 @@
 use crate::device::{CscDevice, DenseDevice, TiledDcsrDevice, WORD};
 use crate::KernelRun;
 use nmt_engine::{
-    convert_matrix_farm, publish_conversion, publish_farm, publish_pipeline, simulate_strip,
+    convert_matrix_farm_obs, publish_conversion, publish_farm, publish_pipeline, simulate_strip,
     ConversionStats, FarmConfig, PipelineConfig, PipelineResult,
 };
 use nmt_formats::{Csc, DenseMatrix, SparseMatrix, TiledCsr, TiledDcsr};
@@ -409,7 +409,7 @@ pub fn bstat_tiled_dcsr_online_obs(
     let tiles_per_strip = nmt_formats::tile_count(n, tile_h);
     let farm_cfg =
         FarmConfig::for_partitions(gpu.config().num_partitions).with_fault(gpu.fault_plan());
-    let farm = convert_matrix_farm(csc, tile_w, tile_h, farm_cfg).map_err(|e| match e {
+    let farm = convert_matrix_farm_obs(csc, tile_w, tile_h, farm_cfg, obs).map_err(|e| match e {
         nmt_engine::FarmError::Fault { site, key, detail } => {
             SimError::InjectedFault { site, key, detail }
         }

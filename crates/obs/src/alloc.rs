@@ -1,0 +1,182 @@
+//! Opt-in allocation counting for phase-attributed profiling.
+//!
+//! [`CountingAlloc`] wraps the system allocator and, when counting is
+//! enabled, bumps two **thread-local** totals (allocation count and bytes
+//! requested) on every `alloc`/`realloc`. A binary installs it once:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: nmt_obs::CountingAlloc = nmt_obs::CountingAlloc;
+//! ```
+//!
+//! Counting is off by default (a single relaxed atomic load on the alloc
+//! path) and is switched on with [`enable_counting`]. Spans opened while
+//! counting is on capture the thread's delta and attach it as
+//! `alloc.count` / `alloc.bytes` counters (see `span.rs`), which the
+//! [`crate::profile::Profiler`] then rolls up per phase.
+//!
+//! **Attribution caveat:** totals are per thread. Work a span hands to
+//! other threads (e.g. rayon workers in the engine farm) is counted on
+//! those workers' spans, not the parent's — per-phase rollups remain
+//! correct because worker spans carry the same phase, but a single span's
+//! numbers cover only its own thread.
+//!
+//! The thread-local counters are `const`-initialised `Cell`s: TLS init
+//! must not allocate, or the allocator would recurse into itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global gate: when false (the default) the allocator is a pure
+/// pass-through to [`System`].
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turn allocation counting on or off process-wide. Returns the previous
+/// state so callers can restore it.
+pub fn enable_counting(on: bool) -> bool {
+    COUNTING.swap(on, Ordering::Relaxed)
+}
+
+/// Whether allocation counting is currently enabled.
+pub fn counting_enabled() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+}
+
+/// This thread's running totals since it first allocated with counting
+/// on: `(allocation_count, bytes_requested)`. Monotonic; frees are not
+/// subtracted — the profiler reports allocation *pressure*, not live heap.
+pub fn thread_totals() -> (u64, u64) {
+    (ALLOC_COUNT.with(Cell::get), ALLOC_BYTES.with(Cell::get))
+}
+
+fn record(bytes: usize) {
+    ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+    ALLOC_BYTES.with(|b| b.set(b.get() + bytes as u64));
+}
+
+/// Counting wrapper around the system allocator. Zero-sized; install as
+/// the `#[global_allocator]` in binaries that want `alloc.*` span
+/// counters. Libraries and tests that never install it still link — all
+/// public functions here degrade to "totals stay zero".
+pub struct CountingAlloc;
+
+// SAFETY: defers every allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the bookkeeping touches only `Cell`s in this
+// thread's TLS (const-init, so no allocation during TLS setup) and never
+// allocates itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            record(layout.size());
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            record(layout.size());
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            // Count the growth only: a shrinking realloc moves no new bytes.
+            record(new_size.saturating_sub(layout.size()));
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// RAII guard measuring this thread's allocation delta over a scope.
+/// Reads totals on construction and again in [`AllocScope::finish`];
+/// yields `(count_delta, bytes_delta)`. Returns zeros when counting is
+/// disabled or was enabled mid-scope.
+pub struct AllocScope {
+    start: Option<(u64, u64)>,
+}
+
+impl AllocScope {
+    /// Begin measuring (no-op when counting is off).
+    pub fn begin() -> Self {
+        AllocScope {
+            start: counting_enabled().then(thread_totals),
+        }
+    }
+
+    /// Allocation `(count, bytes)` on this thread since `begin`.
+    pub fn finish(&self) -> (u64, u64) {
+        match self.start {
+            Some((c0, b0)) => {
+                let (c1, b1) = thread_totals();
+                (c1.saturating_sub(c0), b1.saturating_sub(b0))
+            }
+            None => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the test binary does not install CountingAlloc as its global
+    // allocator, so `record` is only reachable here by calling it
+    // directly. That keeps these tests hermetic with respect to the rest
+    // of the suite's allocations. Tests that flip the process-wide gate
+    // serialize on GATE so the parallel runner can't interleave them.
+
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn gate_toggles_and_restores() {
+        let _g = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = enable_counting(true);
+        assert!(counting_enabled());
+        enable_counting(prev);
+        assert_eq!(counting_enabled(), prev);
+    }
+
+    #[test]
+    fn record_accumulates_per_thread() {
+        let (c0, b0) = thread_totals();
+        record(128);
+        record(64);
+        let (c1, b1) = thread_totals();
+        assert_eq!(c1 - c0, 2);
+        assert_eq!(b1 - b0, 192);
+        // Another thread starts from its own zero.
+        std::thread::spawn(|| {
+            let (c, b) = thread_totals();
+            assert_eq!((c, b), (0, 0));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn scope_measures_delta_only_when_enabled() {
+        let _g = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = enable_counting(false);
+        let off = AllocScope::begin();
+        record(32);
+        assert_eq!(off.finish(), (0, 0));
+
+        enable_counting(true);
+        let on = AllocScope::begin();
+        record(32);
+        record(8);
+        assert_eq!(on.finish(), (2, 40));
+        enable_counting(prev);
+    }
+}

@@ -129,20 +129,100 @@ pub fn write_chrome_trace<W: Write>(mut w: W, spans: &[SpanRecord]) -> io::Resul
 
 /// Sanitize a dotted metric name into a legal Prometheus metric name:
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Every illegal character (including the
-/// registry's dots) becomes `_`; a leading digit gains a `_` prefix.
+/// registry's dots) becomes `_`; a digit at the start of the name **or of
+/// any dotted segment** gains a `_` prefix. The segment rule keeps dotted
+/// names collision-free after flattening: without it `fault.4x` and a
+/// literal `fault_4x` would both render as `fault_4x`; with it the dotted
+/// name becomes `fault__4x`.
 pub fn sanitize_prometheus_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 1);
-    for (i, ch) in name.chars().enumerate() {
+    let mut prev: Option<char> = None;
+    for ch in name.chars() {
         let legal = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
-        if i == 0 && ch.is_ascii_digit() {
+        let segment_start = match prev {
+            None => true,
+            Some('.') => true,
+            Some(_) => false,
+        };
+        if segment_start && ch.is_ascii_digit() {
             out.push('_');
         }
         out.push(if legal { ch } else { '_' });
+        prev = Some(ch);
     }
     if out.is_empty() {
         out.push('_');
     }
     out
+}
+
+/// Render spans as inferno-compatible folded stacks: one line per unique
+/// call path, `frame;frame;... <self_ns>`, value = the path's **self**
+/// time in nanoseconds (duration minus same-thread children). Each stack
+/// is rooted at a `tid<N>` frame, one per thread lane, so farm workers
+/// show up as separate towers. Because self-times partition every span
+/// exactly, the values of all lines sum to the total wall-time of the
+/// root spans — feed the text to `inferno-flamegraph` (or any
+/// `flamegraph.pl`-compatible tool) unchanged.
+pub fn flamegraph_folded(spans: &[SpanRecord]) -> String {
+    let index_of = |id: u64| spans.iter().position(|s| s.id == id);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.and_then(index_of) {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        (spans[*a].start_ns, spans[*a].id).cmp(&(spans[*b].start_ns, spans[*b].id))
+    };
+    roots.sort_by(by_start);
+    for c in &mut children {
+        c.sort_by(by_start);
+    }
+
+    // Frame separator is ';' and the count separator is the last space,
+    // so both must be scrubbed from span names.
+    let frame = |name: &str| name.replace([';', ' '], "_");
+
+    fn walk(
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        path: &mut String,
+        frame: &dyn Fn(&str) -> String,
+        folded: &mut std::collections::BTreeMap<String, u64>,
+    ) {
+        let depth = path.len();
+        path.push(';');
+        path.push_str(&frame(&spans[i].name));
+        let kids_ns: u64 = children[i].iter().map(|&c| spans[c].duration_ns()).sum();
+        let self_ns = spans[i].duration_ns().saturating_sub(kids_ns);
+        if self_ns > 0 {
+            *folded.entry(path.clone()).or_default() += self_ns;
+        }
+        for &c in &children[i] {
+            walk(spans, children, c, path, frame, folded);
+        }
+        path.truncate(depth);
+    }
+
+    let mut folded = std::collections::BTreeMap::new();
+    for r in roots {
+        let mut path = format!("tid{}", spans[r].tid);
+        walk(spans, &children, r, &mut path, &frame, &mut folded);
+    }
+    let mut out = String::new();
+    for (stack, ns) in folded {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+/// Write the folded-stack flamegraph text to `w`.
+pub fn write_flamegraph<W: Write>(mut w: W, spans: &[SpanRecord]) -> io::Result<()> {
+    w.write_all(flamegraph_folded(spans).as_bytes())
 }
 
 /// Format a float the way the Prometheus text format expects (`+Inf`,
@@ -302,6 +382,99 @@ mod tests {
         assert_eq!(sanitize_prometheus_name("9lives"), "_9lives");
         assert_eq!(sanitize_prometheus_name(""), "_");
         assert_eq!(sanitize_prometheus_name("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn segment_initial_digits_get_the_leading_digit_guard() {
+        // A digit right after a dot gets the same `_` prefix as a
+        // name-initial digit, so `fault.4x` cannot collide with a literal
+        // `fault_4x`.
+        assert_eq!(sanitize_prometheus_name("fault.4x"), "fault__4x");
+        assert_eq!(sanitize_prometheus_name("fault_4x"), "fault_4x");
+        assert_eq!(sanitize_prometheus_name("a.1.b2"), "a__1_b2");
+        assert_eq!(sanitize_prometheus_name("9.9"), "_9__9");
+        // Digits *inside* a segment stay untouched.
+        assert_eq!(sanitize_prometheus_name("engine.x4.bytes"), "engine_x4_bytes");
+    }
+
+    #[test]
+    fn flamegraph_lines_sum_to_root_wall_time() {
+        // execute [0,100] > plan [10,30] + chosen [30,90] > launch [40,80]
+        let mk = |id, parent, name: &str, s, e| SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            tid: 1,
+            start_ns: s,
+            end_ns: e,
+            counters: vec![],
+        };
+        let spans = vec![
+            mk(1, None, "planner.execute", 0, 100),
+            mk(2, Some(1), "planner.plan", 10, 30),
+            mk(3, Some(1), "planner.chosen", 30, 90),
+            mk(4, Some(3), "kernels.launch", 40, 80),
+        ];
+        let folded = flamegraph_folded(&spans);
+        let mut total = 0u64;
+        for line in folded.lines() {
+            let (stack, ns) = line.rsplit_once(' ').expect("folded line");
+            assert!(stack.starts_with("tid1;planner.execute"), "{stack}");
+            total += ns.parse::<u64>().expect("integer self-time");
+        }
+        assert_eq!(total, 100, "self-times partition the root span");
+        assert!(folded.contains("tid1;planner.execute;planner.chosen;kernels.launch 40"));
+        assert!(folded.contains("tid1;planner.execute;planner.plan 20"));
+        // Root self-time: 100 - (20 + 60) = 20.
+        assert!(folded.lines().any(|l| l == "tid1;planner.execute 20"));
+    }
+
+    #[test]
+    fn flamegraph_merges_identical_stacks_and_scrubs_frames() {
+        let mk = |id, parent, name: &str, s, e| SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            tid: 1,
+            start_ns: s,
+            end_ns: e,
+            counters: vec![],
+        };
+        let spans = vec![
+            mk(1, None, "root", 0, 100),
+            mk(2, Some(1), "strip; odd name", 0, 10),
+            mk(3, Some(1), "strip; odd name", 10, 30),
+        ];
+        let folded = flamegraph_folded(&spans);
+        // Two same-named children fold into one line with summed time,
+        // and ';'/' ' in the name are scrubbed to keep the format parseable.
+        assert!(folded.contains("tid1;root;strip__odd_name 30"), "{folded}");
+        assert_eq!(
+            folded.lines().filter(|l| l.contains("odd_name")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn flamegraph_separates_thread_lanes() {
+        let mk = |id, name: &str, tid, s, e| SpanRecord {
+            id,
+            parent: None,
+            name: name.into(),
+            tid,
+            start_ns: s,
+            end_ns: e,
+            counters: vec![],
+        };
+        let spans = vec![
+            mk(1, "planner.execute", 1, 0, 100),
+            mk(2, "engine.farm.strip", 2, 10, 40),
+            mk(3, "engine.farm.strip", 3, 10, 50),
+        ];
+        let folded = flamegraph_folded(&spans);
+        assert!(folded.contains("tid1;planner.execute 100"));
+        assert!(folded.contains("tid2;engine.farm.strip 30"));
+        assert!(folded.contains("tid3;engine.farm.strip 40"));
     }
 
     #[test]

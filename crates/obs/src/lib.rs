@@ -8,21 +8,30 @@
 //!   and log₂-bucketed histograms. Names follow
 //!   `<crate>.<component>.<name>` (e.g. `engine.pipeline.prefetch_miss`).
 //! * **Export** ([`export`]) — a JSONL event stream, a Chrome trace-event
-//!   file loadable in Perfetto / `chrome://tracing`, and a Prometheus
-//!   text-format metrics page ([`render_prometheus`]).
+//!   file loadable in Perfetto / `chrome://tracing`, a folded-stack
+//!   flamegraph ([`flamegraph_folded`]), and a Prometheus text-format
+//!   metrics page ([`render_prometheus`]).
+//! * **Profiling** ([`profile`], [`alloc`]) — [`Profiler`] folds the span
+//!   tree into per-phase self-time, per-worker busy/idle, and farm
+//!   concurrency; [`CountingAlloc`] optionally attributes allocation
+//!   counts/bytes to spans.
 //!
 //! Instrumented code takes an [`ObsContext`] (cheaply cloneable); callers
 //! that don't care pass [`ObsContext::disabled()`], which records nothing.
 
+pub mod alloc;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
+pub use alloc::{AllocScope, CountingAlloc};
 pub use export::{
-    chrome_trace_json, render_prometheus, sanitize_prometheus_name, write_chrome_trace,
-    write_prometheus, JsonlExporter,
+    chrome_trace_json, flamegraph_folded, render_prometheus, sanitize_prometheus_name,
+    write_chrome_trace, write_flamegraph, write_prometheus, JsonlExporter,
 };
 pub use metrics::{HistogramSnapshot, MetricRegistry, MetricsSnapshot};
+pub use profile::{Phase, PhaseTotals, Profile, Profiler, WorkerStats};
 pub use span::{Recorder, Span, SpanRecord};
 
 use std::sync::Arc;

@@ -1,0 +1,478 @@
+//! Phase-attributed profiling over the span tree.
+//!
+//! The [`Profiler`] folds a [`Recorder`](crate::Recorder) snapshot into:
+//!
+//! * **per-phase self-time** — every span name maps onto the pipeline
+//!   phase taxonomy (parse → plan → convert → kernel → reduce, plus
+//!   `other` for orchestration shells), and each span contributes its
+//!   *self* time (duration minus same-thread children) so nested spans
+//!   never double-count;
+//! * **per-worker busy/idle** — for every thread lane, busy is the union
+//!   of its root spans and idle is the remainder of the profile window
+//!   (the engine farm's rayon workers each get a lane);
+//! * **farm concurrency / queue depth** — an event sweep over the
+//!   `engine.farm.strip` worker spans yields the maximum number of strips
+//!   in flight and the time-weighted mean (the queue depth an engine
+//!   sees).
+//!
+//! Phase totals are summed across threads, so on a parallel run they are
+//! CPU-seconds, not wall-clock: the convert phase of an 8-worker farm can
+//! legitimately exceed the window. Wall-clock questions are answered by
+//! the per-worker table and `window_ns`.
+//!
+//! When allocation counting is on (see [`crate::alloc`]), spans carry
+//! `alloc.count` / `alloc.bytes` counters; these are attributed to phases
+//! with the same self-time rule (parent deltas include children, so
+//! children are subtracted).
+
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Pipeline phase taxonomy. Every span name maps to exactly one phase via
+/// [`phase_of`]; orchestration shells (`planner.execute`,
+/// `planner.chosen`) land in [`Phase::Other`] and contribute only their
+/// self-time (scheduling overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Matrix ingestion: synthesis (`matgen.*`) and format construction
+    /// (`formats.*`).
+    Parse,
+    /// SSF profiling and the hybrid decision (`planner.plan`,
+    /// `planner.explain`).
+    Plan,
+    /// Near-memory strip conversion: the engine farm and the serial
+    /// converter (`engine.convert*`, `engine.farm*`).
+    Convert,
+    /// Simulated kernel execution, including the cuSPARSE baseline and
+    /// audit re-runs (`kernels.*`, `planner.baseline`, `audit.*`).
+    Kernel,
+    /// The farm's deterministic index-ordered reduction
+    /// (`engine.farm.reduce`).
+    Reduce,
+    /// Everything else: orchestration shells and unclassified spans.
+    Other,
+}
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Parse,
+        Phase::Plan,
+        Phase::Convert,
+        Phase::Kernel,
+        Phase::Reduce,
+        Phase::Other,
+    ];
+
+    /// Stable lowercase name, used in metric names and ledger keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Plan => "plan",
+            Phase::Convert => "convert",
+            Phase::Kernel => "kernel",
+            Phase::Reduce => "reduce",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Map a span name onto its phase. Order matters: `engine.farm.reduce`
+/// is the reduce phase even though it shares the `engine.farm` prefix
+/// with convert-phase worker spans.
+pub fn phase_of(span_name: &str) -> Phase {
+    if span_name.starts_with("matgen.") || span_name.starts_with("formats.") {
+        Phase::Parse
+    } else if span_name == "planner.plan" || span_name == "planner.explain" {
+        Phase::Plan
+    } else if span_name.starts_with("engine.farm.reduce") {
+        Phase::Reduce
+    } else if span_name.starts_with("engine.convert") || span_name.starts_with("engine.farm") {
+        Phase::Convert
+    } else if span_name.starts_with("kernels.")
+        || span_name.starts_with("audit.")
+        || span_name == "planner.baseline"
+    {
+        Phase::Kernel
+    } else {
+        Phase::Other
+    }
+}
+
+/// Accumulated totals for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Self-time summed over every span in the phase, across all threads
+    /// (CPU-nanoseconds under parallelism).
+    pub self_ns: u64,
+    /// Number of spans attributed to the phase.
+    pub spans: u64,
+    /// Self-attributed allocation count (zero unless counting was on).
+    pub alloc_count: u64,
+    /// Self-attributed allocated bytes (zero unless counting was on).
+    pub alloc_bytes: u64,
+}
+
+/// Busy/idle accounting for one thread lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Sequential thread id from the recorder.
+    pub tid: u64,
+    /// Union of this lane's root spans, ns.
+    pub busy_ns: u64,
+    /// `window_ns - busy_ns`.
+    pub idle_ns: u64,
+    /// Spans recorded on this lane (including nested ones).
+    pub spans: u64,
+}
+
+/// The folded result of [`Profiler::analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Profile window: latest span end minus earliest span start, ns.
+    pub window_ns: u64,
+    /// Totals per phase, in [`Phase::ALL`] order (every phase present,
+    /// empty phases all-zero).
+    pub phases: Vec<(Phase, PhaseTotals)>,
+    /// Per-thread busy/idle, ascending tid.
+    pub workers: Vec<WorkerStats>,
+    /// Maximum `engine.farm.strip` spans in flight at once.
+    pub farm_max_in_flight: u64,
+    /// Time-weighted mean of in-flight farm strips over the farm window.
+    pub farm_mean_queue_depth: f64,
+}
+
+impl Profile {
+    /// Totals for one phase (always present).
+    pub fn phase(&self, phase: Phase) -> PhaseTotals {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|&(_, t)| t)
+            .unwrap_or_default()
+    }
+
+    /// Publish the profile as `perf.*` gauges on a metric registry.
+    pub fn publish(&self, metrics: &crate::MetricRegistry) {
+        metrics.gauge_set("perf.window_ns", self.window_ns as f64);
+        for &(phase, totals) in &self.phases {
+            metrics.gauge_set(
+                &format!("perf.phase.{}.self_ns", phase.name()),
+                totals.self_ns as f64,
+            );
+            if totals.alloc_count > 0 {
+                metrics.gauge_set(
+                    &format!("perf.phase.{}.alloc_count", phase.name()),
+                    totals.alloc_count as f64,
+                );
+                metrics.gauge_set(
+                    &format!("perf.phase.{}.alloc_bytes", phase.name()),
+                    totals.alloc_bytes as f64,
+                );
+            }
+        }
+        metrics.gauge_set("perf.workers", self.workers.len() as f64);
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        let idle: u64 = self.workers.iter().map(|w| w.idle_ns).sum();
+        metrics.gauge_set("perf.worker.busy_ns", busy as f64);
+        metrics.gauge_set("perf.worker.idle_ns", idle as f64);
+        metrics.gauge_set("perf.farm.max_in_flight", self.farm_max_in_flight as f64);
+        metrics.gauge_set("perf.farm.mean_queue_depth", self.farm_mean_queue_depth);
+    }
+}
+
+/// Folds span snapshots into [`Profile`]s. Stateless; the methods are
+/// associated functions so call sites read `Profiler::analyze(&spans)`.
+pub struct Profiler;
+
+fn span_counter(span: &SpanRecord, name: &str) -> u64 {
+    span.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |&(_, v)| v.max(0.0) as u64)
+    // Counters are f64 by API; alloc deltas are exact below 2^53.
+}
+
+/// Union length of a set of `[start, end)` intervals.
+fn interval_union_ns(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+impl Profiler {
+    /// Fold a recorder snapshot into per-phase, per-worker, and farm
+    /// concurrency totals. Deterministic: output depends only on the span
+    /// records, and all orderings are by phase/tid/time, never map order.
+    pub fn analyze(spans: &[SpanRecord]) -> Profile {
+        let mut phases: BTreeMap<Phase, PhaseTotals> =
+            Phase::ALL.iter().map(|&p| (p, PhaseTotals::default())).collect();
+
+        // Sum of children durations / alloc deltas, keyed by parent id.
+        // The ring buffer may have evicted a parent; those children simply
+        // have no slot to subtract from, which only over-attributes the
+        // (already evicted) parent, never a retained span.
+        let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut child_alloc: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut has_parent: BTreeMap<u64, bool> = BTreeMap::new();
+        for s in spans {
+            has_parent.insert(s.id, s.parent.is_some());
+            if let Some(p) = s.parent {
+                *child_ns.entry(p).or_default() += s.duration_ns();
+                let slot = child_alloc.entry(p).or_default();
+                slot.0 += span_counter(s, "alloc.count");
+                slot.1 += span_counter(s, "alloc.bytes");
+            }
+        }
+
+        let mut window_lo = u64::MAX;
+        let mut window_hi = 0u64;
+        let mut lane_roots: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut lane_spans: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut farm_events: Vec<(u64, i64)> = Vec::new();
+
+        for s in spans {
+            window_lo = window_lo.min(s.start_ns);
+            window_hi = window_hi.max(s.end_ns);
+            let self_ns = s
+                .duration_ns()
+                .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+            let (kids_c, kids_b) = child_alloc.get(&s.id).copied().unwrap_or((0, 0));
+            let slot = phases.entry(phase_of(&s.name)).or_default();
+            slot.self_ns += self_ns;
+            slot.spans += 1;
+            slot.alloc_count += span_counter(s, "alloc.count").saturating_sub(kids_c);
+            slot.alloc_bytes += span_counter(s, "alloc.bytes").saturating_sub(kids_b);
+
+            *lane_spans.entry(s.tid).or_default() += 1;
+            // Roots only: a lane's busy time is the union of its top-level
+            // spans (descendants are contained in them). A span whose
+            // parent was evicted still has `parent: Some(..)`, so it is
+            // not mistaken for a root.
+            if s.parent.is_none() {
+                lane_roots.entry(s.tid).or_default().push((s.start_ns, s.end_ns));
+            }
+            if s.name == "engine.farm.strip" {
+                farm_events.push((s.start_ns, 1));
+                farm_events.push((s.end_ns, -1));
+            }
+        }
+
+        let window_ns = if spans.is_empty() { 0 } else { window_hi - window_lo };
+
+        let workers: Vec<WorkerStats> = lane_spans
+            .iter()
+            .map(|(&tid, &count)| {
+                let busy_ns = interval_union_ns(lane_roots.remove(&tid).unwrap_or_default());
+                WorkerStats {
+                    tid,
+                    busy_ns,
+                    idle_ns: window_ns.saturating_sub(busy_ns),
+                    spans: count,
+                }
+            })
+            .collect();
+
+        // Event sweep over farm strip spans: ends sort before starts at
+        // the same timestamp, so back-to-back strips don't inflate the
+        // peak.
+        farm_events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let mut in_flight = 0i64;
+        let mut max_in_flight = 0i64;
+        let mut weighted = 0.0f64;
+        let mut prev_t: Option<u64> = None;
+        let mut farm_lo = u64::MAX;
+        let mut farm_hi = 0u64;
+        for &(t, d) in &farm_events {
+            if let Some(p) = prev_t {
+                weighted += (t - p) as f64 * in_flight as f64;
+            }
+            in_flight += d;
+            max_in_flight = max_in_flight.max(in_flight);
+            prev_t = Some(t);
+            farm_lo = farm_lo.min(t);
+            farm_hi = farm_hi.max(t);
+        }
+        let farm_window = farm_hi.saturating_sub(farm_lo);
+        let farm_mean_queue_depth = if farm_window > 0 {
+            weighted / farm_window as f64
+        } else {
+            0.0
+        };
+
+        Profile {
+            window_ns,
+            phases: phases.into_iter().collect(),
+            workers,
+            farm_max_in_flight: max_in_flight.max(0) as u64,
+            farm_mean_queue_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        tid: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            tid,
+            start_ns,
+            end_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn phase_taxonomy_covers_known_span_names() {
+        for (name, want) in [
+            ("matgen.generate", Phase::Parse),
+            ("formats.load", Phase::Parse),
+            ("planner.plan", Phase::Plan),
+            ("planner.explain", Phase::Plan),
+            ("engine.convert", Phase::Convert),
+            ("engine.convert.strip", Phase::Convert),
+            ("engine.farm", Phase::Convert),
+            ("engine.farm.strip", Phase::Convert),
+            ("engine.farm.reduce", Phase::Reduce),
+            ("kernels.launch", Phase::Kernel),
+            ("planner.baseline", Phase::Kernel),
+            ("audit.bstationary", Phase::Kernel),
+            ("planner.execute", Phase::Other),
+            ("planner.chosen", Phase::Other),
+        ] {
+            assert_eq!(phase_of(name), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // execute [0,100] > plan [10,30] + chosen [30,90] > launch [40,80]
+        let spans = vec![
+            span(1, None, "planner.execute", 1, 0, 100),
+            span(2, Some(1), "planner.plan", 1, 10, 30),
+            span(3, Some(1), "planner.chosen", 1, 30, 90),
+            span(4, Some(3), "kernels.launch", 1, 40, 80),
+        ];
+        let p = Profiler::analyze(&spans);
+        assert_eq!(p.window_ns, 100);
+        assert_eq!(p.phase(Phase::Plan).self_ns, 20);
+        assert_eq!(p.phase(Phase::Kernel).self_ns, 40);
+        // execute self = 100 - (20 + 60); chosen self = 60 - 40.
+        assert_eq!(p.phase(Phase::Other).self_ns, 20 + 20);
+        let total: u64 = p.phases.iter().map(|&(_, t)| t.self_ns).sum();
+        assert_eq!(total, 100, "self-times partition the root exactly");
+    }
+
+    #[test]
+    fn workers_get_busy_and_idle_lanes() {
+        let spans = vec![
+            span(1, None, "planner.execute", 1, 0, 100),
+            span(2, None, "engine.farm.strip", 2, 10, 30),
+            span(3, None, "engine.farm.strip", 2, 50, 70),
+            span(4, None, "engine.farm.strip", 3, 10, 70),
+        ];
+        let p = Profiler::analyze(&spans);
+        assert_eq!(p.workers.len(), 3);
+        let lane = |tid| p.workers.iter().find(|w| w.tid == tid).unwrap();
+        assert_eq!(lane(1).busy_ns, 100);
+        assert_eq!(lane(1).idle_ns, 0);
+        assert_eq!(lane(2).busy_ns, 40);
+        assert_eq!(lane(2).idle_ns, 60);
+        assert_eq!(lane(3).busy_ns, 60);
+    }
+
+    #[test]
+    fn farm_concurrency_sweep() {
+        let spans = vec![
+            span(1, None, "engine.farm.strip", 2, 0, 40),
+            span(2, None, "engine.farm.strip", 3, 10, 30),
+            span(3, None, "engine.farm.strip", 4, 20, 60),
+        ];
+        let p = Profiler::analyze(&spans);
+        assert_eq!(p.farm_max_in_flight, 3);
+        // Integral: [0,10)=1, [10,20)=2, [20,30)=3, [30,40)=2, [40,60)=1
+        // = (10 + 20 + 30 + 20 + 20) / 60
+        assert!((p.farm_mean_queue_depth - 100.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alloc_counters_attribute_self_deltas() {
+        let mut parent = span(1, None, "engine.convert", 1, 0, 100);
+        parent.counters = vec![("alloc.count".into(), 10.0), ("alloc.bytes".into(), 1000.0)];
+        let mut child = span(2, Some(1), "kernels.launch", 1, 10, 90);
+        child.counters = vec![("alloc.count".into(), 4.0), ("alloc.bytes".into(), 400.0)];
+        let p = Profiler::analyze(&[parent, child]);
+        assert_eq!(p.phase(Phase::Convert).alloc_count, 6);
+        assert_eq!(p.phase(Phase::Convert).alloc_bytes, 600);
+        assert_eq!(p.phase(Phase::Kernel).alloc_count, 4);
+        assert_eq!(p.phase(Phase::Kernel).alloc_bytes, 400);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let p = Profiler::analyze(&[]);
+        assert_eq!(p.window_ns, 0);
+        assert!(p.workers.is_empty());
+        assert_eq!(p.farm_max_in_flight, 0);
+        assert_eq!(p.farm_mean_queue_depth, 0.0);
+        assert_eq!(p.phases.len(), Phase::ALL.len());
+        assert!(p.phases.iter().all(|&(_, t)| t == PhaseTotals::default()));
+    }
+
+    #[test]
+    fn publish_emits_perf_gauges() {
+        let spans = vec![
+            span(1, None, "planner.execute", 1, 0, 100),
+            span(2, Some(1), "engine.convert", 1, 10, 60),
+        ];
+        let reg = crate::MetricRegistry::new();
+        Profiler::analyze(&spans).publish(&reg);
+        let snap = reg.snapshot();
+        let flat = snap.flat();
+        let get = |n: &str| {
+            flat.get(n)
+                .copied()
+                .unwrap_or_else(|| panic!("missing gauge {n}"))
+        };
+        assert_eq!(get("perf.window_ns"), 100.0);
+        assert_eq!(get("perf.phase.convert.self_ns"), 50.0);
+        assert_eq!(get("perf.phase.other.self_ns"), 50.0);
+        assert_eq!(get("perf.workers"), 1.0);
+    }
+}

@@ -137,6 +137,7 @@ impl Recorder {
                 start_ns: 0,
                 counters: Vec::new(),
                 live: false,
+                alloc: crate::alloc::AllocScope::begin(),
             };
         }
         let key = self as *const Recorder as usize;
@@ -160,6 +161,7 @@ impl Recorder {
             start_ns: self.now_ns(),
             counters: Vec::new(),
             live: true,
+            alloc: crate::alloc::AllocScope::begin(),
         }
     }
 
@@ -205,6 +207,9 @@ pub struct Span<'r> {
     start_ns: u64,
     counters: Vec<(String, f64)>,
     live: bool,
+    /// Allocation delta over the span's lifetime on this thread; inert
+    /// (zeros) unless [`crate::alloc::enable_counting`] was on at open.
+    alloc: crate::alloc::AllocScope,
 }
 
 impl Span<'_> {
@@ -243,6 +248,13 @@ impl Drop for Span<'_> {
                 s.remove(pos);
             }
         });
+        let (alloc_count, alloc_bytes) = self.alloc.finish();
+        if alloc_count > 0 {
+            self.counters
+                .push(("alloc.count".to_string(), alloc_count as f64));
+            self.counters
+                .push(("alloc.bytes".to_string(), alloc_bytes as f64));
+        }
         let end_ns = self.recorder.now_ns().max(self.start_ns);
         self.recorder.finish(SpanRecord {
             id: self.id,

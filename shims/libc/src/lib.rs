@@ -1,5 +1,7 @@
 //! Offline shim for the `libc` crate: only the symbols this workspace
-//! uses (`signal(SIGPIPE, SIG_DFL)` in the CLI entry point).
+//! uses (`signal(SIGPIPE, SIG_DFL)` in the CLI entry point, and
+//! `isatty(STDERR_FILENO)` for the bench progress reporter's TTY
+//! detection).
 
 #![allow(non_camel_case_types)]
 
@@ -10,8 +12,12 @@ pub type sighandler_t = usize;
 pub const SIGPIPE: c_int = 13;
 /// Default signal disposition.
 pub const SIG_DFL: sighandler_t = 0;
+/// File descriptor of standard error.
+pub const STDERR_FILENO: c_int = 2;
 
 extern "C" {
     /// POSIX `signal(2)`, linked from the platform libc.
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    /// POSIX `isatty(3)`: nonzero when `fd` refers to a terminal.
+    pub fn isatty(fd: c_int) -> c_int;
 }

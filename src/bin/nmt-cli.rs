@@ -6,27 +6,43 @@
 //! nmt-cli profile <file.mtx> [--tile N]
 //! nmt-cli convert <file.mtx> [--tile N]
 //! nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
-//!                 [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+//!                 [--trace-out <trace.json>] [--flame-out <folded.txt>]
+//!                 [--metrics-json <metrics.json>]
 //!                 [--fault-seed N [--fault-rate F]]
 //! nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
 //!                 [--metrics-json <metrics.json>] [--fault-seed N [--fault-rate F]]
 //! nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
 //!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
-//!                 [--fault-seed N [--fault-rate F]]
+//!                 [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F]
+//!                 [--progress] [--fault-seed N [--fault-rate F]]
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
 //! ```
 
-use spmm_nmt::bench::{parse_scale, sweep_ledger_faulted, GateTolerance, Ledger};
+use spmm_nmt::bench::{
+    parse_scale, sweep_ledger_instrumented, BenchConfig, GateTolerance, Ledger, PerfTolerance,
+    ProgressReporter, EXPERIMENT_SEED,
+};
 use spmm_nmt::fault::FaultPlan;
 use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, EngineTiming};
 use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
 use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
 use spmm_nmt::model::ssf::SsfProfile;
-use spmm_nmt::obs::{write_chrome_trace, ObsContext};
+use spmm_nmt::obs::{write_chrome_trace, write_flamegraph, ObsContext};
 use spmm_nmt::planner::planner::{PlannerConfig, SpmmPlanner};
 use spmm_nmt::planner::DEFAULT_SSF_THRESHOLD;
 use std::process::ExitCode;
+
+/// Count allocations per span: the obs layer's [`AllocScope`] reads the
+/// thread-local counters this allocator maintains, so `--perf` ledgers
+/// and span counters carry real `alloc.count` / `alloc.bytes` numbers.
+/// The counters are gated on an atomic and cost two relaxed thread-local
+/// adds when enabled, nothing else changes — allocation still goes
+/// straight to the system allocator.
+///
+/// [`AllocScope`]: spmm_nmt::obs::AllocScope
+#[global_allocator]
+static ALLOC: spmm_nmt::obs::CountingAlloc = spmm_nmt::obs::CountingAlloc;
 
 fn main() -> ExitCode {
     // Die quietly on a closed pipe (`nmt-cli suite | head`), like other
@@ -73,11 +89,14 @@ USAGE:
   nmt-cli profile <file.mtx> [--tile N]   SSF profile + algorithm recommendation
   nmt-cli convert <file.mtx> [--tile N]   run the CSC->tiled-DCSR engine model
   nmt-cli spmm    <file.mtx> [--k N] [--tile N] [--threads N] [--json]
-                  [--trace-out <trace.json>] [--metrics-json <metrics.json>]
+                  [--trace-out <trace.json>] [--flame-out <folded.txt>]
+                  [--metrics-json <metrics.json>]
                   [--fault-seed N [--fault-rate F]]
                                           simulate auto-tuned SpMM vs baseline;
                                           --trace-out writes a Chrome/Perfetto
-                                          trace, --metrics-json the metric
+                                          trace, --flame-out folded stacks
+                                          (feed to inferno/flamegraph.pl),
+                                          --metrics-json the metric
                                           registry snapshot
   nmt-cli audit   <file.mtx> [--k N] [--tile N] [--threads N] [--json]
                   [--metrics-json <metrics.json>] [--fault-seed N [--fault-rate F]]
@@ -87,7 +106,8 @@ USAGE:
                                           vs measured traffic per operand
   nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
                   [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
-                  [--fault-seed N [--fault-rate F]]
+                  [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F]
+                  [--progress] [--fault-seed N [--fault-rate F]]
                                           sweep the synthetic suite into a
                                           schema-versioned run ledger; with
                                           --baseline, gate against it and
@@ -96,6 +116,18 @@ USAGE:
                                           default: RAYON_NUM_THREADS or the
                                           core count — results are identical
                                           at any thread count)
+                                          --perf appends a measured wall-time
+                                          section (per-matrix, per-phase
+                                          medians + bootstrap CIs over
+                                          --perf-iters runs after
+                                          --perf-warmup discards); with
+                                          --baseline it also gates timings,
+                                          failing only when a median exceeds
+                                          the baseline CI by --perf-margin
+                                          (fraction, default 0.5)
+                                          --progress draws a live done/total
+                                          + ETA line on stderr (auto-off when
+                                          stderr is not a TTY)
 
   --fault-seed N / --fault-rate F (fraction, default 0.05) arm seeded
   deterministic fault injection: conversion-strip faults retry once then
@@ -245,6 +277,7 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
         return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
     }
     let trace_out = flag(rest, "--trace-out");
+    let flame_out = flag(rest, "--flame-out");
     let metrics_json = flag(rest, "--metrics-json");
     let fault = parse_fault(rest)?;
     let a = load(rest)?;
@@ -254,7 +287,7 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
     config.tile_h = tile;
     config.fault = fault;
     // Observability is free when nobody asked for an artifact.
-    let observing = trace_out.is_some() || metrics_json.is_some();
+    let observing = trace_out.is_some() || flame_out.is_some() || metrics_json.is_some();
     let obs = if observing {
         ObsContext::enabled()
     } else {
@@ -269,6 +302,13 @@ fn cmd_spmm(rest: &[&String]) -> Result<(), String> {
         write_chrome_trace(std::io::BufWriter::new(file), &obs.recorder.snapshot())
             .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
         eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = &flame_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create flamegraph file {path}: {e}"))?;
+        write_flamegraph(std::io::BufWriter::new(file), &obs.recorder.snapshot())
+            .map_err(|e| format!("cannot write flamegraph to {path}: {e}"))?;
+        eprintln!("wrote folded stacks to {path} (render with inferno or flamegraph.pl)");
     }
     if let Some(path) = &metrics_json {
         let json = obs.metrics.snapshot().to_json();
@@ -359,6 +399,31 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
     let baseline_path = flag(rest, "--baseline");
     let out = flag(rest, "--out");
     let fault = parse_fault(rest)?;
+    let perf_requested = rest.iter().any(|x| x.as_str() == "--perf");
+    let perf_tol = PerfTolerance {
+        margin_frac: parse_flag(rest, "--perf-margin", PerfTolerance::default().margin_frac)?,
+        ..PerfTolerance::default()
+    };
+    let perf_cfg = if perf_requested {
+        let mut cfg = BenchConfig::default();
+        cfg.iters = parse_flag(rest, "--perf-iters", cfg.iters)?;
+        cfg.warmup = parse_flag(rest, "--perf-warmup", cfg.warmup)?;
+        if cfg.iters == 0 {
+            return Err("--perf-iters must be at least 1".into());
+        }
+        Some(cfg)
+    } else {
+        for f in ["--perf-iters", "--perf-warmup"] {
+            if flag(rest, f).is_some() {
+                return Err(format!("{f} requires --perf"));
+            }
+        }
+        None
+    };
+    let progress = ProgressReporter::new(
+        SuiteSpec::new(scale, EXPERIMENT_SEED).descriptors().len(),
+        rest.iter().any(|x| x.as_str() == "--progress"),
+    );
     match fault {
         Some(plan) => eprintln!(
             "sweeping {scale:?} suite with fault injection (seed {:#x}, rate {:.4})...",
@@ -367,7 +432,9 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
         ),
         None => eprintln!("sweeping {scale:?} suite through the audited planner..."),
     }
-    let ledger = sweep_ledger_faulted(scale, fault).map_err(|e| e.to_string())?;
+    let ledger = sweep_ledger_instrumented(scale, fault, perf_cfg.as_ref(), Some(&progress))
+        .map_err(|e| e.to_string())?;
+    progress.finish();
     println!("{}", ledger.render_summary());
     if let Some(path) = &out {
         std::fs::write(path, ledger.to_json())
@@ -391,6 +458,25 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
                 }
                 return Err(format!(
                     "{} regression(s) vs baseline {path}",
+                    regressions.len()
+                ));
+            }
+        }
+        // The wall-time gate runs alongside the functional one; it
+        // self-skips (with a note) when either side has no perf section.
+        match ledger.perf_gate(&baseline, perf_tol) {
+            Ok(notes) => {
+                for note in notes {
+                    println!("perf gate: {note}");
+                }
+                println!("perf gate: PASS vs {path}");
+            }
+            Err(regressions) => {
+                for r in &regressions {
+                    eprintln!("perf gate: REGRESSION: {r}");
+                }
+                return Err(format!(
+                    "{} perf regression(s) vs baseline {path}",
                     regressions.len()
                 ));
             }

@@ -1,0 +1,20 @@
+//! Fixture: a kernel-style file timing itself with a raw monotonic clock
+//! still fires `wallclock` after the allowlist grew the counting
+//! allocator and the bench harness — only those named files may read the
+//! clock directly; kernels must open an obs span instead.
+
+pub struct KernelRun {
+    pub total_ns: u64,
+}
+
+pub fn launch_tiled_kernel(rows: usize) -> KernelRun {
+    let start = std::time::Instant::now(); //~ ERROR wallclock
+    let mut acc = 0u64;
+    for r in 0..rows {
+        acc = acc.wrapping_add(r as u64);
+    }
+    let _ = acc;
+    KernelRun {
+        total_ns: start.elapsed().as_nanos() as u64,
+    }
+}

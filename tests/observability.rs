@@ -5,11 +5,13 @@
 //! bytes, and per-phase wall clock — both in-process and through the CLI
 //! `--trace-out` / `--metrics-json` flags.
 
+use spmm_nmt::fault::FaultPlan;
 use spmm_nmt::formats::SparseMatrix;
 use spmm_nmt::matgen::{generators, random_dense, GenKind, MatrixDesc};
 use spmm_nmt::model::ssf::SsfThreshold;
-use spmm_nmt::obs::{chrome_trace_json, ObsContext};
+use spmm_nmt::obs::{chrome_trace_json, flamegraph_folded, render_prometheus, ObsContext, Profiler};
 use spmm_nmt::planner::planner::{Algorithm, PlannerConfig, SpmmPlanner};
+use std::collections::BTreeSet;
 use std::process::Command;
 
 fn bstationary_planner() -> SpmmPlanner {
@@ -120,6 +122,114 @@ fn planner_run_produces_nested_trace_and_acceptance_metrics() {
     );
 }
 
+/// Split one folded-flamegraph line into (stack, self_ns).
+fn parse_folded(line: &str) -> (&str, u64) {
+    let (stack, ns) = line.rsplit_once(' ').expect("folded line has a count");
+    (stack, ns.parse().expect("count is integral ns"))
+}
+
+#[test]
+fn trace_round_trips_nesting_lanes_and_flamegraph_totals() {
+    let (a, b) = demo_inputs();
+    let obs = ObsContext::enabled();
+    bstationary_planner()
+        .execute_with_obs(&a, &b, &obs)
+        .expect("planner runs");
+    let spans = obs.recorder.snapshot();
+
+    // --- Chrome export re-parses and preserves the span forest. ---
+    let trace: serde_json::Value =
+        serde_json::from_str(&chrome_trace_json(&spans)).expect("trace is valid JSON");
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    // Per-lane begin/end balance: nesting must hold within each thread.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<&str>> = std::collections::BTreeMap::new();
+    let mut event_tids = BTreeSet::new();
+    for ev in events {
+        let tid = ev["tid"].as_u64().expect("tid");
+        event_tids.insert(tid);
+        let name = ev["name"].as_str().expect("name");
+        let lane = stacks.entry(tid).or_default();
+        match ev["ph"].as_str().expect("ph") {
+            "B" => lane.push(name),
+            "E" => assert_eq!(lane.pop(), Some(name), "unbalanced E on lane {tid}"),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (tid, lane) in &stacks {
+        assert!(lane.is_empty(), "unmatched B events on lane {tid}: {lane:?}");
+    }
+    // Thread lanes survive the export: exactly the recorded tids appear.
+    let span_tids: BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+    assert_eq!(event_tids, span_tids, "trace lanes must mirror span tids");
+
+    // --- Folded stacks partition the recorded time exactly. ---
+    let folded = flamegraph_folded(&spans);
+    let mut by_lane_folded: std::collections::BTreeMap<&str, u64> =
+        std::collections::BTreeMap::new();
+    for line in folded.lines() {
+        let (stack, ns) = parse_folded(line);
+        let lane = stack.split(';').next().expect("lane frame");
+        *by_lane_folded.entry(lane).or_default() += ns;
+    }
+    // Every lane's folded total equals that lane's root wall time: self
+    // times are a partition of each root span.
+    for &tid in stacks.keys() {
+        let root_ns: u64 = spans
+            .iter()
+            .filter(|s| s.tid == tid && s.parent.is_none())
+            .map(|s| s.end_ns - s.start_ns)
+            .sum();
+        let lane = format!("tid{tid}");
+        assert_eq!(
+            by_lane_folded.get(lane.as_str()).copied().unwrap_or(0),
+            root_ns,
+            "folded lines on {lane} must sum to its root wall time"
+        );
+    }
+    assert!(
+        folded.lines().any(|l| l.contains("planner.execute;")),
+        "nested frames keep their path"
+    );
+}
+
+#[test]
+fn prometheus_page_exports_fault_counters_and_perf_gauges() {
+    let (a, b) = demo_inputs();
+    let obs = ObsContext::enabled();
+    let mut cfg = PlannerConfig::test_small();
+    cfg.threshold = SsfThreshold {
+        threshold: -1.0,
+        accuracy: 1.0,
+    };
+    // Seeded faults at a rate high enough that the conversion farm
+    // records injections (deterministic: same seed, same faults).
+    cfg.fault = Some(FaultPlan::from_rate(0xFA, 0.25));
+    SpmmPlanner::new(cfg)
+        .execute_with_obs(&a, &b, &obs)
+        .expect("faults are absorbed by retry/fallback");
+    assert!(
+        obs.metrics.counter("fault.injected") > 0,
+        "the seeded plan must actually fire"
+    );
+
+    // Fold the span tree into per-phase gauges alongside the counters.
+    Profiler::analyze(&obs.recorder.snapshot()).publish(&obs.metrics);
+
+    let page = render_prometheus(&obs.metrics.snapshot());
+    assert!(
+        page.contains("# TYPE fault_injected counter"),
+        "missing TYPE line for fault_injected in:\n{page}"
+    );
+    assert!(page.lines().any(|l| l.starts_with("fault_injected ")));
+    for gauge in ["perf_window_ns", "perf_phase_kernel_self_ns", "perf_workers"] {
+        assert!(
+            page.contains(&format!("# TYPE {gauge} gauge")),
+            "missing TYPE line for {gauge} in:\n{page}"
+        );
+        assert!(page.lines().any(|l| l.starts_with(&format!("{gauge} "))));
+    }
+}
+
 #[test]
 fn cli_writes_trace_and_metrics_artifacts() {
     let dir = std::env::temp_dir().join("nmt_obs_artifacts");
@@ -128,6 +238,7 @@ fn cli_writes_trace_and_metrics_artifacts() {
     let (a, _) = demo_inputs();
     spmm_nmt::formats::market::write_market_file(&mtx, &a.to_coo()).expect("write mtx");
     let trace_path = dir.join("trace.json");
+    let flame_path = dir.join("flame.folded");
     let metrics_path = dir.join("metrics.json");
 
     let out = Command::new(env!("CARGO_BIN_EXE_nmt-cli"))
@@ -141,6 +252,8 @@ fn cli_writes_trace_and_metrics_artifacts() {
             "--json",
             "--trace-out",
             trace_path.to_str().expect("utf8"),
+            "--flame-out",
+            flame_path.to_str().expect("utf8"),
             "--metrics-json",
             metrics_path.to_str().expect("utf8"),
         ])
@@ -167,6 +280,44 @@ fn cli_writes_trace_and_metrics_artifacts() {
     assert!(names.contains(&"planner.plan"));
     assert!(names.iter().any(|n| n.starts_with("engine.convert")));
     assert!(names.contains(&"kernels.launch"));
+
+    // The folded-stack artifact from the same run: every line is
+    // `lane;frames… <ns>`, and the grand total matches the root spans'
+    // wall time as reported by the Chrome trace's B/E timestamps.
+    let folded = std::fs::read_to_string(&flame_path).expect("flame file");
+    let mut folded_total = 0u64;
+    for line in folded.lines() {
+        let (stack, ns) = parse_folded(line);
+        assert!(stack.starts_with("tid"), "lane-prefixed stack: {line}");
+        folded_total += ns;
+    }
+    let mut root_total = 0u64;
+    let mut depth_by_tid: std::collections::BTreeMap<u64, (i64, u64)> =
+        std::collections::BTreeMap::new();
+    for ev in trace["traceEvents"].as_array().expect("traceEvents") {
+        let tid = ev["tid"].as_u64().expect("tid");
+        let ts = ev["ts"].as_f64().expect("ts");
+        let entry = depth_by_tid.entry(tid).or_insert((0, 0));
+        match ev["ph"].as_str().expect("ph") {
+            "B" => {
+                if entry.0 == 0 {
+                    entry.1 = (ts * 1e3).round() as u64;
+                }
+                entry.0 += 1;
+            }
+            "E" => {
+                entry.0 -= 1;
+                if entry.0 == 0 {
+                    root_total += (ts * 1e3).round() as u64 - entry.1;
+                }
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(
+        folded_total, root_total,
+        "folded stacks must partition the traced wall time"
+    );
 
     // The metrics artifact carries counters/gauges/histograms. The
     // engine-specific gauges only exist when the planner routed the matrix
