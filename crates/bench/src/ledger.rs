@@ -41,7 +41,31 @@ use std::collections::BTreeMap;
 /// harness) consumed by the noise-aware [`Ledger::perf_gate`]. `perf` is
 /// `null` unless the sweep ran with `--perf`, so the default ledger stays
 /// byte-identical across runs and thread counts.
+///
+/// Still v4 (additive, optional): error rows may carry `events` — the
+/// last flight-recorder events attributed to the failed matrix (see
+/// [`LedgerEvent`]). Clean sweeps have no error rows, so baseline ledger
+/// bytes are unchanged, and `Option` fields parse as `None` from older
+/// files that lack the key.
 pub const LEDGER_SCHEMA_VERSION: u32 = 4;
+
+/// One scrubbed flight-recorder event attached to an [`ErrorRow`].
+///
+/// Timestamps and thread ids are deliberately absent: they vary with the
+/// schedule, and error rows must stay byte-identical across thread
+/// counts. What remains — site name, sub-code, operands — is the
+/// deterministic event *content* (see `nmt_obs::recorder`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEvent {
+    /// Stable kebab-case site name (e.g. `fault-convert-strip`).
+    pub site: String,
+    /// Site-specific sub-code (e.g. fault outcome: absorbed vs escalated).
+    pub code: u32,
+    /// First operand (strip / partition / key, per site).
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
 
 /// A matrix whose sweep failed: recorded instead of aborting the corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +77,12 @@ pub struct ErrorRow {
     /// When the error was an injected fault, its attribution: which site
     /// fired and at which deterministic key (`None` for organic errors).
     pub fault: Option<FaultRecord>,
+    /// The last ~32 flight-recorder events recorded while this matrix
+    /// ran, in deterministic content order (fault-class sites sort last),
+    /// so a sweep failure is diagnosable from the committed ledger alone.
+    /// `None` when the matrix failed before a recorder was attached
+    /// (generation errors) or when the row predates this field.
+    pub events: Option<Vec<LedgerEvent>>,
 }
 
 /// One matrix's row in the ledger.
@@ -697,21 +727,36 @@ pub fn sweep_ledger_instrumented(
     // Parallel over matrices; collect() preserves suite order, so the
     // audit/error partition below is schedule-independent. A matrix that
     // fails to generate or to run becomes an error row, not an abort.
-    type Outcome = Result<DecisionAudit, (String, Option<FaultRecord>)>;
+    type Outcome = Result<DecisionAudit, (String, Option<FaultRecord>, Option<Vec<LedgerEvent>>)>;
     let outcomes: Vec<(String, Outcome)> = suite
-        .par_iter()
-        .map(|(desc, built)| {
+        .iter()
+        .enumerate()
+        .into_par_iter()
+        .map(|(idx, (desc, built))| {
             if let Some(p) = progress {
                 p.update(&desc.name, "audit");
             }
             let audit = match built {
-                Err(e) => Err((e.to_string(), None)),
+                Err(e) => Err((e.to_string(), None, None)),
                 Ok(a) => {
+                    // A per-matrix context so flight-recorder events are
+                    // attributed to exactly this matrix, and a diagnostics
+                    // scope so a panic mid-matrix names it in the bundle.
+                    let obs = ObsContext::disabled();
+                    let _diag = nmt_obs::DiagScope::enter(&desc.name, &obs);
+                    obs.flight
+                        .record(nmt_obs::EventSite::SweepMatrix, 0, idx as u64, 0);
                     let planner = SpmmPlanner::new(config.clone());
                     let b = random_dense(a.shape().ncols, k, desc.seed ^ 0x16);
-                    planner
-                        .explain(&desc.name, a, &b, &ObsContext::disabled())
-                        .map_err(|e| {
+                    match planner.explain(&desc.name, a, &b, &obs) {
+                        Ok(audit) => {
+                            obs.flight
+                                .record(nmt_obs::EventSite::SweepMatrix, 1, idx as u64, 0);
+                            Ok(audit)
+                        }
+                        Err(e) => {
+                            obs.flight
+                                .record(nmt_obs::EventSite::SweepMatrix, 2, idx as u64, 0);
                             let attribution = match &e {
                                 SimError::InjectedFault { site, key, detail } => {
                                     Some(FaultRecord {
@@ -724,8 +769,9 @@ pub fn sweep_ledger_instrumented(
                                 }
                                 _ => None,
                             };
-                            (e.to_string(), attribution)
-                        })
+                            Err((e.to_string(), attribution, Some(harvest_events(&obs))))
+                        }
+                    }
                 }
             };
             if let Some(p) = progress {
@@ -739,10 +785,11 @@ pub fn sweep_ledger_instrumented(
     for (matrix, outcome) in outcomes {
         match outcome {
             Ok(audit) => audits.push(audit),
-            Err((error, fault)) => errors.push(ErrorRow {
+            Err((error, fault, events)) => errors.push(ErrorRow {
                 matrix,
                 error,
                 fault,
+                events,
             }),
         }
     }
@@ -759,6 +806,29 @@ pub fn sweep_ledger_instrumented(
         ledger.perf = Some(measure_perf(&suite, &config, k, cfg, progress));
     }
     Ok(ledger)
+}
+
+/// How many flight-recorder events an error row retains.
+const ERROR_ROW_EVENT_CAP: usize = 32;
+
+/// Scrub a matrix-local flight recorder into ledger-safe events: take the
+/// tail of the content-ordered snapshot (fault-class sites have the
+/// highest site codes, so they sort last and are never evicted by the
+/// cap) and drop the schedule-dependent fields (timestamp, thread id).
+/// The result is byte-identical across thread counts for a fixed seed.
+fn harvest_events(obs: &ObsContext) -> Vec<LedgerEvent> {
+    let events = obs.flight.snapshot();
+    let skip = events.len().saturating_sub(ERROR_ROW_EVENT_CAP);
+    events
+        .iter()
+        .skip(skip)
+        .map(|e| LedgerEvent {
+            site: e.site.name().to_string(),
+            code: e.code,
+            a: e.a,
+            b: e.b,
+        })
+        .collect()
 }
 
 /// The serial wall-time pass behind `--perf`: rerun each buildable suite
@@ -979,6 +1049,12 @@ mod tests {
                 matrix: "broken".to_string(),
                 error: "shape mismatch: inner dimensions must agree".to_string(),
                 fault: None,
+                events: Some(vec![LedgerEvent {
+                    site: "sweep-matrix".to_string(),
+                    code: 2,
+                    a: 0,
+                    b: 0,
+                }]),
             }],
         );
         assert_eq!(errored.errors.len(), 1);
@@ -997,6 +1073,7 @@ mod tests {
             matrix: "broken".to_string(),
             error: "boom".to_string(),
             fault: None,
+            events: None,
         });
         let errs = errored
             .gate(&clean, GateTolerance::default())
@@ -1042,6 +1119,70 @@ mod tests {
         assert_eq!(stamped.fault_rate_ppm, Some(250_000));
         let back = Ledger::from_json(&stamped.to_json()).expect("parses");
         assert_eq!(back, stamped);
+    }
+
+    #[test]
+    fn clean_ledger_json_has_no_events_key() {
+        // `events` is additive and error-row-only: a clean sweep's JSON
+        // must not mention it, so committed pre-field baselines stay
+        // byte-identical.
+        let ledger = quick_ledger(19);
+        assert!(ledger.errors.is_empty());
+        assert!(!ledger.to_json().contains("\"events\""));
+        // And old files without the key parse with `events: None`.
+        let errored = Ledger::from_sweep(
+            SuiteScale::Small,
+            19,
+            8,
+            ledger.tile,
+            &[],
+            vec![ErrorRow {
+                matrix: "old".to_string(),
+                error: "boom".to_string(),
+                fault: None,
+                events: None,
+            }],
+        );
+        // Remove the key outright (with its leading comma), the same way
+        // the pre-v4 `perf` test emulates an older file.
+        let json = errored.to_json();
+        let start = json.find("\"events\"").expect("events field serialized");
+        let comma = json[..start].rfind(',').expect("comma before events");
+        let null_end = start + json[start..].find("null").expect("null events") + 4;
+        let stripped = format!("{}{}", &json[..comma], &json[null_end..]);
+        let back = Ledger::from_json(&stripped).expect("missing events key parses");
+        assert_eq!(back.errors[0].events, None);
+    }
+
+    #[test]
+    fn harvest_events_scrubs_caps_and_keeps_fault_tail() {
+        use nmt_obs::EventSite;
+        let obs = ObsContext::disabled();
+        // More benign events than the cap, plus a handful of fault-class
+        // events; content order sorts fault sites last, so the cap must
+        // never evict them.
+        for i in 0..60u64 {
+            obs.flight.record(EventSite::FarmStrip, 0, i, 0);
+        }
+        obs.flight.record(EventSite::FaultConvertStrip, 2, 7, 0xBEEF);
+        obs.flight.record(EventSite::FaultPartitionDropout, 1, 3, 0);
+        let harvested = harvest_events(&obs);
+        assert_eq!(harvested.len(), ERROR_ROW_EVENT_CAP);
+        let last = &harvested[harvested.len() - 1];
+        assert_eq!(last.site, "fault-partition-dropout");
+        assert_eq!(harvested[harvested.len() - 2].site, "fault-convert-strip");
+        assert_eq!(harvested[harvested.len() - 2].code, 2);
+        assert_eq!(harvested[harvested.len() - 2].b, 0xBEEF);
+
+        // Same recording sequence, fresh context: identical harvest —
+        // the scrub drops every schedule-dependent field.
+        let obs2 = ObsContext::disabled();
+        for i in 0..60u64 {
+            obs2.flight.record(EventSite::FarmStrip, 0, i, 0);
+        }
+        obs2.flight.record(EventSite::FaultConvertStrip, 2, 7, 0xBEEF);
+        obs2.flight.record(EventSite::FaultPartitionDropout, 1, 3, 0);
+        assert_eq!(harvested, harvest_events(&obs2));
     }
 
     #[test]

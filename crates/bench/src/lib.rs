@@ -6,15 +6,21 @@ use nmt_formats::Csr;
 use nmt_matgen::{MatrixDesc, SuiteScale, SuiteSpec};
 use rayon::prelude::*;
 
+pub mod diff;
 pub mod harness;
+pub mod history;
 pub mod ledger;
 pub mod progress;
 
+pub use diff::{diff_ledgers, DiffOptions, DiffReport};
 pub use harness::{median, summarize, BenchConfig, BenchStats};
+pub use history::{
+    append_history, change_point, load_history, render_history, scan_history, HistoryRecord,
+};
 pub use ledger::{
     ledger_filename, scale_label, sweep_ledger, sweep_ledger_faulted, sweep_ledger_instrumented,
-    CorpusSummary, ErrorRow, GateTolerance, LatencyPercentiles, Ledger, LedgerRow, MatrixPerf,
-    PerfSection, PerfTolerance, PhasePerf, LEDGER_SCHEMA_VERSION,
+    CorpusSummary, ErrorRow, GateTolerance, LatencyPercentiles, Ledger, LedgerEvent, LedgerRow,
+    MatrixPerf, PerfSection, PerfTolerance, PhasePerf, LEDGER_SCHEMA_VERSION,
 };
 pub use progress::ProgressReporter;
 

@@ -84,20 +84,35 @@ impl ProgressReporter {
         }
     }
 
-    /// Clear the live line (call once after the sweep so following output
-    /// starts on a fresh line).
+    /// Clear the live line and print the final summary (call once after
+    /// the sweep so following output starts on a fresh line).
     pub fn finish(&self) {
         if self.enabled {
             eprint!("\r{:width$}\r", "", width = 79);
+            eprint!("{}", self.finish_line());
             let _ = std::io::stderr().flush();
         }
     }
 
+    /// The final summary [`finish`](Self::finish) prints: counts plus
+    /// elapsed wall time, **always `\n`-terminated** so whatever the CLI
+    /// prints next starts on its own line (a bare `\r`-cleared line left
+    /// the cursor mid-line and let the next write splice into it).
+    pub fn finish_line(&self) -> String {
+        let elapsed_s = self.clock.now_ns() as f64 / 1e9;
+        format!(
+            "[{}/{}] sweep done in {elapsed_s:.1}s\n",
+            self.completed(),
+            self.total
+        )
+    }
+
     /// ETA in seconds from the mean wall time of completed matrices, or
-    /// None before anything completed.
+    /// None before anything completed — and never for an empty suite,
+    /// where `0/0` has no rate to extrapolate from.
     fn eta_seconds(&self) -> Option<f64> {
         let done = self.completed();
-        if done == 0 || done >= self.total {
+        if self.total == 0 || done == 0 || done >= self.total {
             return None;
         }
         let elapsed_s = self.clock.now_ns() as f64 / 1e9;
@@ -170,6 +185,31 @@ mod tests {
         let p = ProgressReporter::with_enabled(2, true);
         p.update(&"x".repeat(200), "convert");
         assert!(p.render().len() <= 78);
+    }
+
+    #[test]
+    fn finish_line_is_newline_terminated() {
+        let p = ProgressReporter::with_enabled(2, true);
+        p.matrix_done("a");
+        p.matrix_done("b");
+        let line = p.finish_line();
+        assert!(line.ends_with('\n'), "summary must own its line: {line:?}");
+        assert!(line.starts_with("[2/2]"), "{line}");
+        assert!(line.contains("sweep done in"), "{line}");
+        // Exactly one terminator: the summary is a single line.
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn empty_suite_renders_without_eta_glitch() {
+        let p = ProgressReporter::with_enabled(0, true);
+        assert!(p.render().starts_with("[0/0]"));
+        assert!(!p.render().contains("eta"), "0/0 has no rate to project");
+        // Even a spurious completion (more done than total) stays sane.
+        p.matrix_done("stray");
+        assert!(!p.render().contains("eta"));
+        assert!(p.finish_line().starts_with("[1/0]"));
+        assert!(p.finish_line().ends_with('\n'));
     }
 
     #[test]

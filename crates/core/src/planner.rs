@@ -165,6 +165,12 @@ impl SpmmPlanner {
             (profile, choice)
         };
         let t_plan = obs.recorder.now_ns();
+        obs.flight.record(
+            nmt_obs::EventSite::PlannerPhase,
+            0,
+            a.shape().nrows as u64,
+            a.nnz() as u64,
+        );
 
         let baseline = {
             let _s = obs.span("planner.baseline");
@@ -173,6 +179,12 @@ impl SpmmPlanner {
         };
         publish_kernel_stats(obs, "kernels.baseline", &baseline.stats);
         let t_baseline = obs.recorder.now_ns();
+        obs.flight.record(
+            nmt_obs::EventSite::PlannerPhase,
+            1,
+            a.shape().nrows as u64,
+            a.nnz() as u64,
+        );
 
         let chosen_span = obs.span("planner.chosen");
         let mut gpu = Gpu::new(self.config.gpu.clone())?;
@@ -213,6 +225,12 @@ impl SpmmPlanner {
                         // switch used as a fault response. Fresh cold-cache
                         // GPU, same fault plan (memory-site faults remain
                         // active but are timing-only).
+                        obs.flight.record(
+                            nmt_obs::EventSite::PlannerFallback,
+                            site.code() as u32,
+                            key,
+                            0,
+                        );
                         let mut fb_gpu = Gpu::new(self.config.gpu.clone())?;
                         fb_gpu.set_fault_plan(self.config.fault);
                         let dcsr = {
@@ -239,6 +257,12 @@ impl SpmmPlanner {
         };
         drop(chosen_span);
         let t_chosen = obs.recorder.now_ns();
+        obs.flight.record(
+            nmt_obs::EventSite::PlannerPhase,
+            2,
+            a.shape().nrows as u64,
+            a.nnz() as u64,
+        );
 
         publish_kernel_stats(obs, "kernels.chosen", &stats);
         if fault.is_some() {
@@ -337,6 +361,12 @@ impl SpmmPlanner {
             ) {
                 Ok(online) => (online.run.stats, model.estimate_online_bstationary(k)),
                 Err(SimError::InjectedFault { site, key, detail }) => {
+                    obs.flight.record(
+                        nmt_obs::EventSite::PlannerFallback,
+                        site.code() as u32,
+                        key,
+                        0,
+                    );
                     fault = Some(FaultRecord {
                         retried: site == FaultSite::ConvertStrip,
                         fell_back: chosen == Choice::BStationary,

@@ -18,6 +18,7 @@ use crate::convert::{ConversionStats, StripConverter};
 use crate::placement::{Layout, PlacementError, SwitchCost};
 use nmt_fault::{FaultPlan, FaultRecord, FaultSite};
 use nmt_formats::{Csc, DcsrTile, Index, SparseMatrix};
+use nmt_obs::{EventSite, FlightRecorder};
 use rayon::prelude::*;
 
 /// Errors produced by a farm conversion: a placement misconfiguration, or
@@ -210,18 +211,23 @@ fn convert_strip_faulted(
     tile_w: usize,
     tile_h: usize,
     plan: Option<FaultPlan>,
+    flight: &FlightRecorder,
 ) -> Result<(StripOutput, Vec<FaultRecord>), FarmError> {
     let key = strip_id as u64;
     let mut faults = Vec::new();
     if let Some(plan) = plan {
         if plan.fires(FaultSite::ConvertStrip, key) {
             if plan.retry_fires(FaultSite::ConvertStrip, key) {
+                flight.record(EventSite::FaultConvertStrip, 2, key, 0);
+                flight.record(EventSite::FarmStrip, 2, key, 0);
                 return Err(FarmError::Fault {
                     site: FaultSite::ConvertStrip,
                     key,
                     detail: format!("strip {strip_id} conversion failed twice (retry exhausted)"),
                 });
             }
+            flight.record(EventSite::FaultConvertStrip, 1, key, 0);
+            flight.record(EventSite::FarmStrip, 1, key, 0);
             faults.push(FaultRecord {
                 site: FaultSite::ConvertStrip,
                 key,
@@ -241,19 +247,25 @@ fn convert_strip_faulted(
                 .rowptr
                 .push(corrupted.rowptr.last().copied().unwrap_or(0) + 1);
             match corrupted.validate() {
-                Err(e) => faults.push(FaultRecord {
-                    site: FaultSite::MetadataCorruption,
-                    key,
-                    retried: true,
-                    fell_back: false,
-                    detail: format!("corrupted tile metadata rejected ({e}); strip re-converted"),
-                }),
+                Err(e) => {
+                    flight.record(EventSite::FaultMetadataCorruption, 1, key, 0);
+                    faults.push(FaultRecord {
+                        site: FaultSite::MetadataCorruption,
+                        key,
+                        retried: true,
+                        fell_back: false,
+                        detail: format!(
+                            "corrupted tile metadata rejected ({e}); strip re-converted"
+                        ),
+                    });
+                }
                 Ok(()) => {
+                    flight.record(EventSite::FaultMetadataCorruption, 2, key, 0);
                     return Err(FarmError::Fault {
                         site: FaultSite::MetadataCorruption,
                         key,
                         detail: format!("corrupted metadata in strip {strip_id} went undetected"),
-                    })
+                    });
                 }
             }
         }
@@ -310,6 +322,8 @@ pub fn convert_matrix_farm_obs(
             .fault
             .is_some_and(|plan| plan.fires(FaultSite::PartitionDropout, p as u64))
         {
+            obs.flight
+                .record(EventSite::FaultPartitionDropout, 1, p as u64, 0);
             faults.push(FaultRecord {
                 site: FaultSite::PartitionDropout,
                 key: p as u64,
@@ -322,6 +336,8 @@ pub fn convert_matrix_farm_obs(
         }
     }
     if active.is_empty() {
+        obs.flight
+            .record(EventSite::FaultPartitionDropout, 2, 0, config.partitions as u64);
         return Err(FarmError::Fault {
             site: FaultSite::PartitionDropout,
             key: 0,
@@ -336,7 +352,8 @@ pub fn convert_matrix_farm_obs(
             if let Some(sp) = strip_span.as_mut() {
                 sp.counter("strip", s as f64);
             }
-            convert_strip_faulted(csc, s, tile_w, tile_h, config.fault)
+            obs.flight.record(EventSite::FarmStrip, 0, s as u64, 0);
+            convert_strip_faulted(csc, s, tile_w, tile_h, config.fault, &obs.flight)
         })
         .collect();
 
@@ -345,6 +362,8 @@ pub fn convert_matrix_farm_obs(
     // failed strip surfaces as the *lowest-strip-id* error regardless of
     // which worker hit it first in wall-clock terms.
     let _reduce_span = watching.then(|| obs.span("engine.farm.reduce"));
+    obs.flight
+        .record(EventSite::FarmReduce, 0, nstrips as u64, active.len() as u64);
     let cost = SwitchCost { lanes: tile_w };
     let mut per_partition = vec![PartitionWork::default(); config.partitions];
     let mut per_strip = Vec::with_capacity(nstrips);

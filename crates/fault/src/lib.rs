@@ -44,10 +44,12 @@ pub enum FaultSite {
 }
 
 impl FaultSite {
-    /// Stable per-site discriminant mixed into the fault hash. Never
-    /// reorder these values: they are part of the reproducibility
-    /// contract for a given seed.
-    fn code(self) -> u64 {
+    /// Stable per-site discriminant mixed into the fault hash (and used
+    /// as the flight-recorder event sub-code, see
+    /// `nmt_obs::recorder::EventSite::from_fault_code`). Never reorder
+    /// these values: they are part of the reproducibility contract for a
+    /// given seed.
+    pub fn code(self) -> u64 {
         match self {
             FaultSite::ConvertStrip => 1,
             FaultSite::MetadataCorruption => 2,

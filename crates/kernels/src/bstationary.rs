@@ -439,6 +439,8 @@ pub fn bstat_tiled_dcsr_online_obs(
             strip_span.counter("strip", s as f64);
             strip_span.counter("elements", st.elements as f64);
             strip_span.counter("output_bytes", st.output_bytes as f64);
+            obs.flight
+                .record(nmt_obs::EventSite::KernelStrip, 0, s as u64, st.elements);
             let m = &obs.metrics;
             m.histogram_record("kernels.bstat_online.strip_elements", st.elements);
             m.histogram_record("kernels.bstat_online.strip_flops", 2 * k as u64 * st.elements);
@@ -460,6 +462,8 @@ pub fn bstat_tiled_dcsr_online_obs(
     let num_blocks = nstrips;
     let shared = tile_w * k * WORD as usize;
     let launch_span = obs.span("kernels.launch");
+    obs.flight
+        .record(nmt_obs::EventSite::KernelLaunch, 0, nstrips as u64, k as u64);
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         let s = ctx.block_id;
         let first_width = tiles[s].first().map_or(tile_w, |t| t.width);

@@ -282,7 +282,7 @@ pub fn write_prometheus<W: Write>(mut w: W, snap: &MetricsSnapshot) -> io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Recorder;
+    use crate::{MetricRegistry, Recorder};
 
     fn sample_spans() -> Vec<SpanRecord> {
         let rec = Recorder::with_capacity(16);
@@ -395,6 +395,34 @@ mod tests {
         assert_eq!(sanitize_prometheus_name("9.9"), "_9__9");
         // Digits *inside* a segment stay untouched.
         assert_eq!(sanitize_prometheus_name("engine.x4.bytes"), "engine_x4_bytes");
+    }
+
+    #[test]
+    fn sanitization_collision_triangle_is_documented() {
+        // The three spellings the digit guard has to keep straight:
+        let dotted = sanitize_prometheus_name("fault.4x");
+        let single = sanitize_prometheus_name("fault_4x");
+        let double = sanitize_prometheus_name("fault__4x");
+        assert_eq!(dotted, "fault__4x");
+        assert_eq!(single, "fault_4x");
+        assert_ne!(dotted, single, "the guard keeps `.4` and `_4` apart");
+        // Residual, accepted collision: a literal `__4` is spelled the
+        // same as a sanitized `.4`. Registry names are lint-enforced
+        // lowercase-dotted (`metric-name` rule), so the literal form
+        // cannot occur in-tree; this pins the boundary of the guarantee.
+        assert_eq!(double, dotted);
+
+        // When colliding names *are* forced in, both samples still render
+        // (same exposition name twice) — collision degrades the page, it
+        // does not drop data.
+        let reg = MetricRegistry::new();
+        reg.counter_add("fault.4x", 1);
+        reg.counter_add("fault__4x", 2);
+        reg.counter_add("fault_4x", 4);
+        let page = render_prometheus(&reg.snapshot());
+        assert_eq!(page.matches("fault__4x 1").count(), 1);
+        assert_eq!(page.matches("fault__4x 2").count(), 1);
+        assert_eq!(page.matches("fault_4x 4").count(), 1);
     }
 
     #[test]

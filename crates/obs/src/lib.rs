@@ -23,6 +23,7 @@ pub mod alloc;
 pub mod export;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod span;
 
 pub use alloc::{AllocScope, CountingAlloc};
@@ -32,18 +33,27 @@ pub use export::{
 };
 pub use metrics::{HistogramSnapshot, MetricRegistry, MetricsSnapshot};
 pub use profile::{Phase, PhaseTotals, Profile, Profiler, WorkerStats};
+pub use recorder::{
+    build_bundle, diagnostics_installed, install_diagnostics, uninstall_diagnostics,
+    write_bundle_file, write_bundle_now, DiagScope, DiagnosticsBundle, Event, EventSite,
+    FlightRecorder,
+};
 pub use span::{Recorder, Span, SpanRecord};
 
 use std::sync::Arc;
 
-/// Bundle of a span recorder and a metric registry, threaded through the
-/// planner, engine, and kernels.
+/// Bundle of a span recorder, a metric registry, and a flight recorder,
+/// threaded through the planner, engine, and kernels.
 #[derive(Clone)]
 pub struct ObsContext {
     /// Span sink.
     pub recorder: Arc<Recorder>,
     /// Metric sink.
     pub metrics: Arc<MetricRegistry>,
+    /// Black-box event log. Always on — even for
+    /// [`ObsContext::disabled`] — so a crash in an uninstrumented run
+    /// still leaves a diagnosable trail (see [`recorder`]).
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl ObsContext {
@@ -52,6 +62,7 @@ impl ObsContext {
         ObsContext {
             recorder: Arc::new(Recorder::with_capacity(capacity)),
             metrics: Arc::new(MetricRegistry::new()),
+            flight: Arc::new(FlightRecorder::new()),
         }
     }
 
@@ -74,6 +85,16 @@ impl ObsContext {
     /// Open a span named `name`; prefer the [`span!`] macro.
     pub fn span(&self, name: impl Into<String>) -> Span<'_> {
         self.recorder.span(name)
+    }
+
+    /// Publish the ring-buffer loss counters as gauges
+    /// (`obs.dropped_spans`, `obs.dropped_events`) so silent data loss
+    /// is visible on every metrics surface (Prometheus page, bundles).
+    pub fn publish_dropped(&self) {
+        self.metrics
+            .gauge_set("obs.dropped_spans", self.recorder.dropped() as f64);
+        self.metrics
+            .gauge_set("obs.dropped_events", self.flight.dropped() as f64);
     }
 }
 

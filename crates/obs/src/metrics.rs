@@ -370,6 +370,50 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edges_empty_and_single_bucket() {
+        // Empty: every p, including the clamped extremes, is exactly 0.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        for p in [-1.0, 0.0, 50.0, 100.0, 400.0] {
+            assert_eq!(empty.percentile(p), 0.0);
+        }
+
+        // Two samples in one bucket: ranks 0 and 1 span the full [lo, hi]
+        // range, so p0 pins the floor and p100 the ceiling exactly —
+        // the `count - 1` rank denominator, not `count`, makes p100
+        // land on hi instead of past it.
+        let m = MetricRegistry::new();
+        m.histogram_record("h", 4);
+        m.histogram_record("h", 7); // both land in bucket [4, 7]
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.buckets.len(), 1, "one bucket holds both");
+        assert_eq!(h.percentile(0.0), 4.0);
+        assert_eq!(h.percentile(100.0), 7.0);
+        assert_eq!(h.percentile(50.0), 5.5, "midpoint of a 2-sample bucket");
+
+        // A single sample has no second rank to interpolate toward:
+        // every percentile collapses to the bucket floor (`within = 0`).
+        let m1 = MetricRegistry::new();
+        m1.histogram_record("one", 5);
+        let one = &m1.snapshot().histograms["one"];
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(one.percentile(p), 4.0);
+        }
+
+        // Value 0 lives in the degenerate [0, 0] bucket; interpolation
+        // across a zero-width range stays at 0.
+        let m0 = MetricRegistry::new();
+        m0.histogram_record("z", 0);
+        m0.histogram_record("z", 0);
+        let z = &m0.snapshot().histograms["z"];
+        assert_eq!(z.percentile(0.0), 0.0);
+        assert_eq!(z.percentile(100.0), 0.0);
+    }
+
+    #[test]
     fn percentiles_saturating_bucket_stay_finite() {
         let m = MetricRegistry::new();
         m.histogram_record("h", u64::MAX);

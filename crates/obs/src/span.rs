@@ -70,12 +70,14 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Sequential id of this thread, assigned on first span.
     static THREAD_ID: Cell<u64> = const { Cell::new(0) };
-    /// Stack of live spans on this thread: (recorder address, span id).
-    /// Keyed by address so two recorders in one test don't cross-link.
-    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of live spans on this thread: (recorder address, span id,
+    /// span name). Keyed by address so two recorders in one test don't
+    /// cross-link; the name is kept so a panic hook can report which
+    /// spans were still open (live spans only land in the ring on drop).
+    static SPAN_STACK: RefCell<Vec<(usize, u64, String)>> = const { RefCell::new(Vec::new()) };
 }
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     THREAD_ID.with(|t| {
         if t.get() == 0 {
             t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
@@ -147,17 +149,22 @@ impl Recorder {
             inner.next_id += 1;
             id
         };
+        let name = name.into();
         let parent = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let parent = s.iter().rev().find(|(k, _)| *k == key).map(|&(_, id)| id);
-            s.push((key, id));
+            let parent = s
+                .iter()
+                .rev()
+                .find(|(k, _, _)| *k == key)
+                .map(|&(_, id, _)| id);
+            s.push((key, id, name.clone()));
             parent
         });
         Span {
             recorder: self,
             id,
             parent,
-            name: name.into(),
+            name,
             start_ns: self.now_ns(),
             counters: Vec::new(),
             live: true,
@@ -174,6 +181,21 @@ impl Recorder {
     /// Spans evicted because the ring wrapped (plus all spans, if disabled).
     pub fn dropped(&self) -> u64 {
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped
+    }
+
+    /// Names of this recorder's spans still open on the *current* thread,
+    /// outermost first. Live spans only reach [`Recorder::snapshot`] when
+    /// their guard drops, so this is the only view a panic hook gets of
+    /// the call path that was executing when the panic unwound.
+    pub fn active_stack(&self) -> Vec<String> {
+        let key = self as *const Recorder as usize;
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .filter(|(k, _, _)| *k == key)
+                .map(|(_, _, name)| name.clone())
+                .collect()
+        })
     }
 
     fn finish(&self, record: SpanRecord) {
@@ -244,7 +266,7 @@ impl Drop for Span<'_> {
             let mut s = s.borrow_mut();
             // Normally ours is the top entry for this recorder; remove by
             // id to stay correct even if guards drop out of order.
-            if let Some(pos) = s.iter().rposition(|&(k, id)| k == key && id == self.id) {
+            if let Some(pos) = s.iter().rposition(|(k, id, _)| *k == key && *id == self.id) {
                 s.remove(pos);
             }
         });
@@ -363,6 +385,22 @@ mod tests {
             spans[0].counters,
             vec![("x".to_string(), 2.0), ("y".to_string(), 3.0)]
         );
+    }
+
+    #[test]
+    fn active_stack_tracks_live_spans_outermost_first() {
+        let rec = Recorder::with_capacity(16);
+        let other = Recorder::with_capacity(16);
+        assert!(rec.active_stack().is_empty());
+        {
+            let _outer = rec.span("outer");
+            let _elsewhere = other.span("elsewhere");
+            let _inner = rec.span("inner");
+            assert_eq!(rec.active_stack(), vec!["outer", "inner"]);
+            assert_eq!(other.active_stack(), vec!["elsewhere"]);
+        }
+        assert!(rec.active_stack().is_empty());
+        assert!(other.active_stack().is_empty());
     }
 
     #[test]

@@ -15,20 +15,29 @@
 //!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
 //!                 [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F]
 //!                 [--progress] [--fault-seed N [--fault-rate F]]
+//!                 [--history <HISTORY.jsonl>] [--diag-dir <dir>]
+//! nmt-cli doctor  <nmt-diag-*.json>
+//! nmt-cli diff    <ledger-A.json> <ledger-B.json> [--json]
+//!                 [--diff-margin F] [--diff-slack-ns NS]
+//! nmt-cli history <HISTORY.jsonl>
 //! nmt-cli suite   [--scale small|medium|paper]
 //! nmt-cli help
 //! ```
 
 use spmm_nmt::bench::{
-    parse_scale, sweep_ledger_instrumented, BenchConfig, GateTolerance, Ledger, PerfTolerance,
-    ProgressReporter, EXPERIMENT_SEED,
+    append_history, diff_ledgers, load_history, parse_scale, render_history,
+    sweep_ledger_instrumented, BenchConfig, DiffOptions, GateTolerance, HistoryRecord, Ledger,
+    PerfTolerance, ProgressReporter, EXPERIMENT_SEED,
 };
 use spmm_nmt::fault::FaultPlan;
 use spmm_nmt::engine::{conversion_energy_pj, convert_matrix, ComparatorTree, EngineTiming};
 use spmm_nmt::formats::{market, Csr, Dcsr, SparseMatrix, StorageSize, TiledDcsr};
 use spmm_nmt::matgen::{random_dense, SuiteScale, SuiteSpec};
 use spmm_nmt::model::ssf::SsfProfile;
-use spmm_nmt::obs::{write_chrome_trace, write_flamegraph, ObsContext};
+use spmm_nmt::obs::{
+    diagnostics_installed, install_diagnostics, write_bundle_now, write_chrome_trace,
+    write_flamegraph, DiagnosticsBundle, ObsContext,
+};
 use spmm_nmt::planner::planner::{PlannerConfig, SpmmPlanner};
 use spmm_nmt::planner::DEFAULT_SSF_THRESHOLD;
 use std::process::ExitCode;
@@ -67,6 +76,9 @@ fn main() -> ExitCode {
         "spmm" => cmd_spmm(&rest),
         "audit" => cmd_audit(&rest),
         "bench" => cmd_bench(&rest),
+        "doctor" => cmd_doctor(&rest),
+        "diff" => cmd_diff(&rest),
+        "history" => cmd_history(&rest),
         "suite" => cmd_suite(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -128,12 +140,33 @@ USAGE:
                                           --progress draws a live done/total
                                           + ETA line on stderr (auto-off when
                                           stderr is not a TTY)
+                                          --history appends one timeline
+                                          record (commit, geomean, per-phase
+                                          medians + CIs) to a JSONL file
+                                          --diag-dir (or NMT_DIAG_DIR) arms
+                                          crash diagnostics: a panic or gate
+                                          failure writes an nmt-diag-*.json
+                                          bundle there
 
   --fault-seed N / --fault-rate F (fraction, default 0.05) arm seeded
   deterministic fault injection: conversion-strip faults retry once then
   fall back per-matrix to the untiled C-stationary kernel (audited as
   degraded mode), memory faults perturb timing only. Same seed, same
   faults — at any thread count.
+  nmt-cli doctor  <nmt-diag-*.json>       render a crash bundle as a
+                                          human-readable post-mortem:
+                                          failing site, strip/partition,
+                                          thread, span stack, and the last
+                                          flight-recorder events
+  nmt-cli diff    <ledger-A.json> <ledger-B.json> [--json]
+                  [--diff-margin F] [--diff-slack-ns NS]
+                                          forensic ledger comparison:
+                                          attribute geomean movement to
+                                          matrices / dataflow classes /
+                                          phases and flag wall-time deltas
+                                          outside A's bootstrap CIs
+  nmt-cli history <HISTORY.jsonl>         render the perf timeline and scan
+                                          each series for change points
   nmt-cli suite   [--scale small|medium|paper]
                                           enumerate the synthetic suite
   nmt-cli help                            this message";
@@ -150,6 +183,24 @@ fn parse_flag<T: std::str::FromStr>(rest: &[&String], name: &str, default: T) ->
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
     }
+}
+
+/// Positional (non-flag) arguments, in order: `--name value` pairs for
+/// the listed value-taking flags are skipped whole, bare `--switch`es are
+/// skipped alone.
+fn positionals(rest: &[&String], value_flags: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let tok = rest[i].as_str();
+        if tok.starts_with("--") {
+            i += if value_flags.contains(&tok) { 2 } else { 1 };
+            continue;
+        }
+        out.push(rest[i].clone());
+        i += 1;
+    }
+    out
 }
 
 /// Parse `--fault-seed N` / `--fault-rate F` into an optional
@@ -420,6 +471,19 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
         }
         None
     };
+    // Crash diagnostics: --diag-dir (or NMT_DIAG_DIR) arms the panic
+    // hook; a worker panic mid-sweep — or a gate failure below — leaves
+    // an nmt-diag-*.json bundle for `nmt-cli doctor`.
+    let diag_dir = flag(rest, "--diag-dir").or_else(|| std::env::var("NMT_DIAG_DIR").ok());
+    if let Some(dir) = &diag_dir {
+        install_diagnostics(
+            dir.as_str(),
+            &ObsContext::disabled(),
+            fault.map(|p| p.seed),
+            fault.map(|p| p.rate_ppm),
+        );
+        eprintln!("crash diagnostics armed: bundles land in {dir}");
+    }
     let progress = ProgressReporter::new(
         SuiteSpec::new(scale, EXPERIMENT_SEED).descriptors().len(),
         rest.iter().any(|x| x.as_str() == "--progress"),
@@ -441,6 +505,17 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write ledger to {path}: {e}"))?;
         eprintln!("wrote run ledger to {path}");
     }
+    if let Some(hist) = flag(rest, "--history") {
+        // Commit id comes from the environment (CI pins GITHUB_SHA), not
+        // from running git — the ledger stack takes no wall-clock or VCS
+        // dependencies.
+        let commit = std::env::var("NMT_COMMIT")
+            .or_else(|_| std::env::var("GITHUB_SHA"))
+            .unwrap_or_else(|_| "unknown".to_string());
+        let record = HistoryRecord::from_ledger(&ledger, &commit);
+        let run = append_history(std::path::Path::new(&hist), record)?;
+        eprintln!("history: appended run {run} to {hist}");
+    }
     if let Some(path) = &baseline_path {
         let json = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -456,6 +531,7 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
                 for r in &regressions {
                     eprintln!("gate: REGRESSION: {r}");
                 }
+                write_failure_bundle(&format!("bench gate failure vs {path}"));
                 return Err(format!(
                     "{} regression(s) vs baseline {path}",
                     regressions.len()
@@ -475,6 +551,7 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
                 for r in &regressions {
                     eprintln!("perf gate: REGRESSION: {r}");
                 }
+                write_failure_bundle(&format!("bench perf gate failure vs {path}"));
                 return Err(format!(
                     "{} perf regression(s) vs baseline {path}",
                     regressions.len()
@@ -482,6 +559,66 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// When `--diag-dir` armed diagnostics, capture a bundle for a
+/// non-panic failure (gate regressions) so CI uploads the same artifact
+/// either way. A no-op when diagnostics are not installed.
+fn write_failure_bundle(reason: &str) {
+    if diagnostics_installed() {
+        if let Some(p) = write_bundle_now(reason) {
+            eprintln!("wrote diagnostics bundle to {}", p.display());
+        }
+    }
+}
+
+/// `nmt-cli doctor <bundle>`: render a crash diagnostics bundle as a
+/// human-readable post-mortem.
+fn cmd_doctor(rest: &[&String]) -> Result<(), String> {
+    let args = positionals(rest, &[]);
+    let path = args.first().ok_or("missing <nmt-diag-*.json> argument")?;
+    let json = std::fs::read_to_string(path.as_str())
+        .map_err(|e| format!("cannot read bundle {path}: {e}"))?;
+    let bundle = DiagnosticsBundle::from_json(&json)?;
+    print!("{}", bundle.render_postmortem());
+    Ok(())
+}
+
+/// `nmt-cli diff <A> <B>`: forensic comparison of two run ledgers.
+fn cmd_diff(rest: &[&String]) -> Result<(), String> {
+    let args = positionals(rest, &["--diff-margin", "--diff-slack-ns"]);
+    let [a_path, b_path] = args.as_slice() else {
+        return Err("diff needs exactly two ledger paths: <ledger-A> <ledger-B>".into());
+    };
+    let read = |path: &String| -> Result<Ledger, String> {
+        let json = std::fs::read_to_string(path.as_str())
+            .map_err(|e| format!("cannot read ledger {path}: {e}"))?;
+        Ledger::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let opts = DiffOptions {
+        margin_frac: parse_flag(rest, "--diff-margin", 0.0)?,
+        abs_slack_ns: parse_flag(rest, "--diff-slack-ns", 0.0)?,
+    };
+    let report = diff_ledgers(&a, &b, opts)?;
+    if rest.iter().any(|x| x.as_str() == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("diff: A = {a_path}, B = {b_path}");
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// `nmt-cli history <HISTORY.jsonl>`: render the perf timeline and its
+/// change points.
+fn cmd_history(rest: &[&String]) -> Result<(), String> {
+    let args = positionals(rest, &[]);
+    let path = args.first().ok_or("missing <HISTORY.jsonl> argument")?;
+    let records = load_history(std::path::Path::new(path.as_str()))?;
+    print!("{}", render_history(&records));
     Ok(())
 }
 
