@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn bench_comparator(c: &mut Criterion) {
     let mut group = c.benchmark_group("comparator_tree");
     for &lanes in &[16usize, 64] {
-        let tree = ComparatorTree::new(lanes);
+        let tree = ComparatorTree::new(lanes).expect("lanes within 1..=64");
         let coords: Vec<Option<u32>> = (0..lanes)
             .map(|i| {
                 if i % 5 == 0 {

@@ -255,6 +255,15 @@ pub struct PerfTolerance {
     pub margin_frac: f64,
     /// Absolute headroom, ns.
     pub abs_slack_ns: f64,
+    /// Relative headroom above the baseline per-phase allocation count
+    /// and bytes (0.5 = 50%). Allocation counts are near-deterministic
+    /// (pools are reset before the measurement pass), but steady-state
+    /// shelving can differ slightly run to run.
+    pub alloc_margin_frac: f64,
+    /// Absolute allocation-count headroom per phase.
+    pub alloc_slack_count: f64,
+    /// Absolute allocation-bytes headroom per phase.
+    pub alloc_slack_bytes: f64,
 }
 
 impl Default for PerfTolerance {
@@ -264,6 +273,9 @@ impl Default for PerfTolerance {
             // with --perf-margin for same-machine comparisons.
             margin_frac: 0.5,
             abs_slack_ns: 100_000.0,
+            alloc_margin_frac: 0.5,
+            alloc_slack_count: 64.0,
+            alloc_slack_bytes: 65_536.0,
         }
     }
 }
@@ -649,6 +661,40 @@ impl Ledger {
                         bm.matrix, bp.phase, rp.median_ns, limit, bp.ci_lo_ns, bp.ci_hi_ns
                     ));
                 }
+                // Allocation budget: a hot path that starts allocating
+                // per strip again blows well past margin + slack even
+                // though wall time may hide inside the noise band.
+                let alloc_ceiling = |base: f64, slack: f64| {
+                    base * (1.0 + tol.alloc_margin_frac) + slack
+                };
+                let count_limit = alloc_ceiling(bp.alloc_count, tol.alloc_slack_count);
+                if rp.alloc_count > count_limit {
+                    regressions.push(format!(
+                        "{}/{}: allocation count regressed: {:.0} > ceiling {:.0} \
+                         (baseline {:.0} + {:.0}% + {:.0} slack)",
+                        bm.matrix,
+                        bp.phase,
+                        rp.alloc_count,
+                        count_limit,
+                        bp.alloc_count,
+                        tol.alloc_margin_frac * 100.0,
+                        tol.alloc_slack_count
+                    ));
+                }
+                let bytes_limit = alloc_ceiling(bp.alloc_bytes, tol.alloc_slack_bytes);
+                if rp.alloc_bytes > bytes_limit {
+                    regressions.push(format!(
+                        "{}/{}: allocation bytes regressed: {:.0} > ceiling {:.0} \
+                         (baseline {:.0} + {:.0}% + {:.0} slack)",
+                        bm.matrix,
+                        bp.phase,
+                        rp.alloc_bytes,
+                        bytes_limit,
+                        bp.alloc_bytes,
+                        tol.alloc_margin_frac * 100.0,
+                        tol.alloc_slack_bytes
+                    ));
+                }
             }
         }
         if regressions.is_empty() {
@@ -850,6 +896,10 @@ fn measure_perf(
     progress: Option<&ProgressReporter>,
 ) -> PerfSection {
     let was_counting = nmt_obs::alloc::enable_counting(true);
+    // Start the engine's buffer pools from a reproducible (empty) state:
+    // whatever the parallel sweep left shelved is schedule-dependent, and
+    // the per-phase alloc counts below must not inherit that.
+    nmt_engine::mem::reset_pools();
     let mut matrices = Vec::new();
     for (desc, built) in suite {
         let Ok(a) = built else { continue };
@@ -1261,6 +1311,39 @@ mod tests {
             .expect_err("doctored baseline must fire");
         assert!(errs.iter().any(|e| e.contains("total regressed")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("phase regressed")), "{errs:?}");
+    }
+
+    #[test]
+    fn perf_gate_fires_on_alloc_regression_and_tolerates_wobble() {
+        let mut base = quick_ledger(31);
+        base.perf = Some(perf_section(1.0)); // kernel: 10 allocs / 4096 B
+
+        // Per-strip allocation creep: counts and bytes blow far past
+        // margin + slack even though wall time is identical.
+        let mut run = base.clone();
+        let mut p = perf_section(1.0);
+        p.matrices[0].phases[0].alloc_count = 10_000.0;
+        p.matrices[0].phases[0].alloc_bytes = 50_000_000.0;
+        run.perf = Some(p);
+        let errs = run
+            .perf_gate(&base, PerfTolerance::default())
+            .expect_err("alloc blowup must fire");
+        assert!(
+            errs.iter().any(|e| e.contains("allocation count regressed")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("allocation bytes regressed")),
+            "{errs:?}"
+        );
+
+        // Pool steady-state wobble stays inside margin + slack.
+        let mut wobble = base.clone();
+        let mut p = perf_section(1.0);
+        p.matrices[0].phases[0].alloc_count = 14.0;
+        p.matrices[0].phases[0].alloc_bytes = 6_000.0;
+        wobble.perf = Some(p);
+        assert!(wobble.perf_gate(&base, PerfTolerance::default()).is_ok());
     }
 
     #[test]

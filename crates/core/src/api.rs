@@ -312,7 +312,7 @@ mod timed_tests {
     #[test]
     fn camping_layout_serializes_one_server() {
         let csc = clustered_csc();
-        let timing = EngineTiming::fp32(13.6, &ComparatorTree::new(8).structure());
+        let timing = EngineTiming::fp32(13.6, &ComparatorTree::new(8).unwrap().structure());
         let submit_all = |q: &mut ConversionQueue| {
             for s in 0..q.num_strips() {
                 for t in 0..4 {

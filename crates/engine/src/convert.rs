@@ -18,8 +18,9 @@
 //! access repositions the frontier by binary search on the CSC columns —
 //! both properties §4.1 credits to the CSC baseline format.
 
-use crate::comparator::ComparatorTree;
-use nmt_formats::{Csc, DcsrTile, Index, SparseMatrix};
+use crate::comparator::{ComparatorTree, MinScratch};
+use crate::mem;
+use nmt_formats::{Csc, CscView, DcsrTile, Index, SparseMatrix};
 
 /// Byte cost of one streamed CSC element: a 4-byte row index plus a 4-byte
 /// fp32 value ("8-byte input data", §5.3).
@@ -106,7 +107,7 @@ pub fn publish_conversion(obs: &nmt_obs::ObsContext, stats: &ConversionStats) {
 /// Stateful converter for one vertical strip of a CSC matrix.
 #[derive(Debug, Clone)]
 pub struct StripConverter<'a> {
-    csc: &'a Csc,
+    csc: CscView<'a>,
     strip_id: usize,
     col_start: usize,
     width: usize,
@@ -114,6 +115,14 @@ pub struct StripConverter<'a> {
     frontier: Vec<usize>,
     /// Absolute end index of each lane's column.
     boundary: Vec<usize>,
+    /// Lane-coordinate staging reused across every comparator pass (the
+    /// hot-path buffer that used to be allocated per pass).
+    coords: Vec<Option<u32>>,
+    /// Comparator reduction scratch (fixed-size, stack-style).
+    min_scratch: MinScratch,
+    /// Whether scratch and tile buffers come from the global pools
+    /// ([`crate::mem`]) and go back there on [`Self::recycle`].
+    pooled: bool,
     tree: ComparatorTree,
     stats: ConversionStats,
 }
@@ -121,7 +130,16 @@ pub struct StripConverter<'a> {
 impl<'a> StripConverter<'a> {
     /// Position a converter at the top of strip `strip_id` (width
     /// `tile_w`). Panics if the strip is outside the matrix.
+    /// Unpooled: scratch is freshly allocated and dropped with the
+    /// converter (the farm's hot path uses [`Self::with_view`]).
     pub fn new(csc: &'a Csc, strip_id: usize, tile_w: usize) -> Self {
+        Self::with_view(csc.view(), strip_id, tile_w, false)
+    }
+
+    /// [`Self::new`] over a borrowed [`CscView`], with scratch and tile
+    /// buffers checked out of the global pools when `pooled` — return
+    /// them with [`Self::recycle`] when the strip is done.
+    pub fn with_view(csc: CscView<'a>, strip_id: usize, tile_w: usize, pooled: bool) -> Self {
         assert!(tile_w > 0 && tile_w <= 64, "engine width is 1..=64 columns");
         let ncols = csc.shape().ncols;
         let col_start = strip_id * tile_w;
@@ -135,10 +153,10 @@ impl<'a> StripConverter<'a> {
             .min(ncols.max(1));
         let lanes = width.min(ncols.saturating_sub(col_start));
         let colptr = csc.colptr();
-        let frontier: Vec<usize> = (0..lanes).map(|i| colptr[col_start + i] as usize).collect();
-        let boundary: Vec<usize> = (0..lanes)
-            .map(|i| colptr[col_start + i + 1] as usize)
-            .collect();
+        let mut frontier = mem::take_ptr(pooled, lanes);
+        frontier.extend((0..lanes).map(|i| colptr[col_start + i] as usize));
+        let mut boundary = mem::take_ptr(pooled, lanes);
+        boundary.extend((0..lanes).map(|i| colptr[col_start + i + 1] as usize));
         let mut stats = ConversionStats::default();
         // Loading boundary_ptr + frontier_ptr from col_ptr: 2 N-element
         // 4-byte arrays (Figure 14 ❶).
@@ -150,9 +168,22 @@ impl<'a> StripConverter<'a> {
             width,
             frontier,
             boundary,
-            tree: ComparatorTree::new(lanes.max(1)),
+            coords: mem::take_coords(pooled, lanes.max(1)),
+            min_scratch: MinScratch::new(),
+            pooled,
+            // nmt-lint: allow(panic) — lanes is clamped to 1..=64 two lines up, within ComparatorTree's bound
+            tree: ComparatorTree::new(lanes.max(1)).expect("lanes clamped to 1..=64"),
             stats,
         }
+    }
+
+    /// Return this converter's scratch buffers to the global pools (a
+    /// no-op for unpooled converters). The farm calls this after each
+    /// strip so the next strip's converter allocates nothing.
+    pub fn recycle(self) {
+        mem::put_ptr(self.pooled, self.frontier);
+        mem::put_ptr(self.pooled, self.boundary);
+        mem::put_coords(self.pooled, self.coords);
     }
 
     /// The strip index this converter serves.
@@ -173,21 +204,6 @@ impl<'a> StripConverter<'a> {
         }
     }
 
-    /// Current lane coordinates, masked to rows below `row_end`.
-    fn lane_coords(&self, row_end: Index) -> Vec<Option<u32>> {
-        let rowidx = self.csc.rowidx();
-        (0..self.frontier.len())
-            .map(|i| {
-                if self.frontier[i] < self.boundary[i] {
-                    let r = rowidx[self.frontier[i]];
-                    (r < row_end).then_some(r)
-                } else {
-                    None
-                }
-            })
-            .collect()
-    }
-
     /// Convert the next `tile_h` rows starting at `row_start` into one
     /// DCSR tile (the `GetDCSRTile` operation of Figure 11, minus the
     /// request plumbing). Lanes must already be at or past `row_start`
@@ -196,23 +212,50 @@ impl<'a> StripConverter<'a> {
         let nrows = self.csc.shape().nrows;
         let height = tile_h.min(nrows.saturating_sub(row_start as usize)).max(1);
         let row_end = row_start + height as Index;
+        // Exact capacity bounds for the pooled buffers: per lane, find the
+        // end of this tile's element run (first element at or past
+        // `row_end`) by binary search — the hardware analogue is the
+        // boundary-pointer computation of Figure 14 ❶. The sum is exactly
+        // the element count the pass loop will emit, and emitted rows are
+        // bounded by `min(height, elems)`. Exact bounds mean checked-out
+        // buffers never grow mid-tile, so steady-state pool reuse performs
+        // zero allocations (a grown buffer would reshelve at a new
+        // capacity and churn the best-fit pairing forever).
+        let rowidx_all = self.csc.rowidx();
+        let tile_elems: usize = self
+            .frontier
+            .iter()
+            .zip(&self.boundary)
+            .map(|(&f, &b)| rowidx_all[f..b].partition_point(|&r| r < row_end))
+            .sum();
+        let max_rows = height.min(tile_elems);
+        let mut rowptr = mem::take_idx(self.pooled, max_rows + 1);
+        rowptr.push(0);
         let mut tile = DcsrTile {
             row_start,
             col_start: self.col_start as Index,
             height,
             width: self.width,
-            rowptr: vec![0],
-            ..DcsrTile::default()
+            rowptr,
+            rowidx: mem::take_idx(self.pooled, max_rows),
+            colidx: mem::take_idx(self.pooled, tile_elems),
+            values: mem::take_val(self.pooled, tile_elems),
         };
         let values = self.csc.values();
         loop {
             self.stats.comparator_passes += 1;
             self.stats.lane_slots += self.frontier.len() as u64;
-            let mut coords = self.lane_coords(row_end);
-            if coords.is_empty() {
-                coords.push(None); // zero-lane converter: always exhausted
+            fill_lane_coords(
+                &self.csc,
+                &self.frontier,
+                &self.boundary,
+                row_end,
+                &mut self.coords,
+            );
+            if self.coords.is_empty() {
+                self.coords.push(None); // zero-lane converter: always exhausted
             }
-            let Some(min) = self.tree.find_min(&coords) else {
+            let Some(min) = self.tree.find_min_in(&self.coords, &mut self.min_scratch) else {
                 break;
             };
             // Emit one DCSR row: all lanes at the minimum row coordinate,
@@ -242,7 +285,7 @@ impl<'a> StripConverter<'a> {
     /// Convert the whole strip as consecutive `tile_h`-tall tiles.
     pub fn convert_strip(&mut self, tile_h: usize) -> Vec<DcsrTile> {
         let nrows = self.csc.shape().nrows;
-        let mut tiles = Vec::with_capacity(nrows.div_ceil(tile_h.max(1)));
+        let mut tiles = mem::take_tiles(self.pooled, nrows.div_ceil(tile_h.max(1)));
         let mut row_start = 0;
         while (row_start as usize) < nrows.max(1) {
             tiles.push(self.next_tile(row_start, tile_h));
@@ -253,6 +296,28 @@ impl<'a> StripConverter<'a> {
         }
         tiles
     }
+}
+
+/// Stage the current lane coordinates (masked to rows below `row_end`)
+/// into `coords`, reusing its capacity. A free function over disjoint
+/// converter fields so the borrow checker permits in-place reuse.
+fn fill_lane_coords(
+    csc: &CscView<'_>,
+    frontier: &[usize],
+    boundary: &[usize],
+    row_end: Index,
+    coords: &mut Vec<Option<u32>>,
+) {
+    let rowidx = csc.rowidx();
+    coords.clear();
+    coords.extend(frontier.iter().zip(boundary).map(|(&f, &b)| {
+        if f < b {
+            let r = rowidx[f];
+            (r < row_end).then_some(r)
+        } else {
+            None
+        }
+    }));
 }
 
 /// Convert an entire CSC matrix to tiled DCSR through the engine model —
@@ -267,15 +332,30 @@ pub fn convert_matrix(
     tile_w: usize,
     tile_h: usize,
 ) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
+    convert_matrix_view(csc.view(), tile_w, tile_h)
+}
+
+/// [`convert_matrix`] over a borrowed [`CscView`] — the zero-copy entry
+/// point (a CSR image of the transpose converts without materializing an
+/// owned `Csc`). Strip converters draw scratch and tile buffers from the
+/// global pools; pass the output to [`crate::mem::recycle_strips`] once
+/// consumed to make the next conversion allocation-free.
+pub fn convert_matrix_view(
+    csc: CscView<'_>,
+    tile_w: usize,
+    tile_h: usize,
+) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
     use rayon::prelude::*;
     let ncols = csc.shape().ncols;
     let nstrips = nmt_formats::strip_count(ncols, tile_w);
     let per_strip: Vec<(Vec<DcsrTile>, ConversionStats)> = (0..nstrips)
         .into_par_iter()
         .map(|s| {
-            let mut conv = StripConverter::new(csc, s, tile_w);
+            let mut conv = StripConverter::with_view(csc, s, tile_w, true);
             let tiles = conv.convert_strip(tile_h);
-            (tiles, conv.stats())
+            let stats = conv.stats();
+            conv.recycle();
+            (tiles, stats)
         })
         .collect();
     let mut strips = Vec::with_capacity(nstrips);
@@ -304,19 +384,10 @@ pub fn convert_matrix_dcsc(
     tile_w: usize,
     tile_h: usize,
 ) -> (Vec<Vec<DcsrTile>>, ConversionStats) {
-    let shape = csr.shape();
-    // Reinterpret the CSR arrays as CSC of the transpose — no data
-    // movement, exactly what the hardware would see.
-    let as_csc_of_t = Csc::new(
-        shape.ncols,
-        shape.nrows,
-        csr.rowptr().to_vec(),
-        csr.colidx().to_vec(),
-        csr.values().to_vec(),
-    )
-    // nmt-lint: allow(panic) — CSR invariants are exactly the CSC invariants of the transpose
-    .expect("CSR arrays are a valid CSC image of the transpose");
-    convert_matrix(&as_csc_of_t, tile_w, tile_h)
+    // Reinterpret the CSR arrays as CSC of the transpose — a zero-copy
+    // borrow, exactly what the hardware would see (previously this
+    // cloned all three arrays into an owned Csc).
+    convert_matrix_view(CscView::transpose_of_csr(csr), tile_w, tile_h)
 }
 
 #[cfg(test)]

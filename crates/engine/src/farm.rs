@@ -69,6 +69,12 @@ pub struct FarmConfig {
     /// strip/partition id)` only, so a faulted farm is as deterministic
     /// as a clean one.
     pub fault: Option<FaultPlan>,
+    /// Draw converter scratch and tile buffers from the global pools
+    /// ([`crate::mem`]). Pooling is output-invariant — pooled buffers
+    /// are always handed out empty — so this only changes allocator
+    /// traffic; `false` is the reference path the determinism proptests
+    /// compare against.
+    pub pool: bool,
 }
 
 impl FarmConfig {
@@ -78,6 +84,7 @@ impl FarmConfig {
             partitions: 64,
             layout: Layout::TileRotated,
             fault: None,
+            pool: true,
         }
     }
 
@@ -87,12 +94,20 @@ impl FarmConfig {
             partitions,
             layout: Layout::TileRotated,
             fault: None,
+            pool: true,
         }
     }
 
     /// The same farm with a fault plan installed.
     pub fn with_fault(mut self, plan: Option<FaultPlan>) -> Self {
         self.fault = plan;
+        self
+    }
+
+    /// The same farm with buffer pooling disabled (fresh allocations per
+    /// strip/tile — the pre-pool reference behaviour).
+    pub fn without_pool(mut self) -> Self {
+        self.pool = false;
         self
     }
 }
@@ -179,11 +194,18 @@ struct StripOutput {
 /// Convert one strip, snapshotting the converter counters around every
 /// tile. The converter's setup cost (the Figure 14 ❶ pointer loads) lands
 /// in the first tile's delta so the per-tile deltas sum to the strip total.
-fn convert_strip_tracked(csc: &Csc, strip_id: usize, tile_w: usize, tile_h: usize) -> StripOutput {
+fn convert_strip_tracked(
+    csc: &Csc,
+    strip_id: usize,
+    tile_w: usize,
+    tile_h: usize,
+    pool: bool,
+) -> StripOutput {
     let nrows = csc.shape().nrows;
-    let mut conv = StripConverter::new(csc, strip_id, tile_w);
-    let mut tiles = Vec::new();
-    let mut per_tile = Vec::new();
+    let mut conv = StripConverter::with_view(csc.view(), strip_id, tile_w, pool);
+    let ntiles = nrows.max(1).div_ceil(tile_h.max(1));
+    let mut tiles = crate::mem::take_tiles(pool, ntiles);
+    let mut per_tile = crate::mem::take_stats(pool, ntiles);
     let mut before = ConversionStats::default();
     let mut row_start: Index = 0;
     while (row_start as usize) < nrows.max(1) {
@@ -196,6 +218,7 @@ fn convert_strip_tracked(csc: &Csc, strip_id: usize, tile_w: usize, tile_h: usiz
             break;
         }
     }
+    conv.recycle();
     StripOutput { tiles, per_tile }
 }
 
@@ -211,9 +234,11 @@ fn convert_strip_faulted(
     tile_w: usize,
     tile_h: usize,
     plan: Option<FaultPlan>,
+    pool: bool,
     flight: &FlightRecorder,
 ) -> Result<(StripOutput, Vec<FaultRecord>), FarmError> {
     let key = strip_id as u64;
+    // nmt-lint: allow(hot-alloc) — Vec::new defers allocation until a fault actually fires (cold path)
     let mut faults = Vec::new();
     if let Some(plan) = plan {
         if plan.fires(FaultSite::ConvertStrip, key) {
@@ -237,7 +262,7 @@ fn convert_strip_faulted(
             });
         }
     }
-    let out = convert_strip_tracked(csc, strip_id, tile_w, tile_h);
+    let out = convert_strip_tracked(csc, strip_id, tile_w, tile_h, pool);
     if let Some(plan) = plan {
         if plan.fires(FaultSite::MetadataCorruption, key) {
             // Corrupt a clone — never the real output — and require the
@@ -315,6 +340,7 @@ pub fn convert_matrix_farm_obs(
     // Partition dropout rolls once per partition id, before any strip work:
     // surviving engines absorb the dropped partitions' placements. All
     // partitions dropping is unrecoverable and escalates.
+    // nmt-lint: allow(hot-alloc) — once per matrix, populated only when faults fire
     let mut faults = Vec::new();
     let mut active: Vec<usize> = Vec::with_capacity(config.partitions);
     for p in 0..config.partitions {
@@ -353,7 +379,7 @@ pub fn convert_matrix_farm_obs(
                 sp.counter("strip", s as f64);
             }
             obs.flight.record(EventSite::FarmStrip, 0, s as u64, 0);
-            convert_strip_faulted(csc, s, tile_w, tile_h, config.fault, &obs.flight)
+            convert_strip_faulted(csc, s, tile_w, tile_h, config.fault, config.pool, &obs.flight)
         })
         .collect();
 
@@ -365,6 +391,7 @@ pub fn convert_matrix_farm_obs(
     obs.flight
         .record(EventSite::FarmReduce, 0, nstrips as u64, active.len() as u64);
     let cost = SwitchCost { lanes: tile_w };
+    // nmt-lint: allow(hot-alloc) — one partition-table allocation per matrix, size known only here
     let mut per_partition = vec![PartitionWork::default(); config.partitions];
     let mut per_strip = Vec::with_capacity(nstrips);
     let mut total = ConversionStats::default();
@@ -391,6 +418,7 @@ pub fn convert_matrix_farm_obs(
         }
         per_strip.push(strip_total);
         strips.push(out.tiles);
+        crate::mem::put_stats(config.pool, out.per_tile);
     }
     Ok(FarmRun {
         strips,
@@ -467,6 +495,7 @@ mod tests {
                 partitions: 4,
                 layout: Layout::TileRotated,
                 fault: None,
+                pool: true,
             },
         )
         .unwrap();
@@ -478,6 +507,7 @@ mod tests {
                 partitions: 4,
                 layout: Layout::StripPerPartition,
                 fault: None,
+                pool: true,
             },
         )
         .unwrap();
@@ -508,6 +538,7 @@ mod tests {
             partitions: 4,
             layout: Layout::TileRotated,
             fault: None,
+            pool: true,
         };
         let farm = convert_matrix_farm(&csc, 8, 8, cfg).unwrap();
         let loads = farm.partition_loads();

@@ -30,14 +30,16 @@ pub mod area_energy;
 pub mod comparator;
 pub mod convert;
 pub mod farm;
+pub mod mem;
 pub mod pipeline;
 pub mod placement;
 pub mod timing;
 
 pub use area_energy::{conversion_energy_pj, AreaEnergyModel};
-pub use comparator::{ComparatorTree, MinResult, TreeStructure};
+pub use comparator::{ComparatorError, ComparatorTree, MinResult, MinScratch, TreeStructure};
 pub use convert::{
-    convert_matrix, convert_matrix_dcsc, publish_conversion, ConversionStats, StripConverter,
+    convert_matrix, convert_matrix_dcsc, convert_matrix_view, publish_conversion, ConversionStats,
+    StripConverter,
 };
 pub use farm::{
     convert_matrix_farm, convert_matrix_farm_obs, publish_farm, FarmConfig, FarmError, FarmRun,
@@ -46,3 +48,10 @@ pub use farm::{
 pub use pipeline::{publish_pipeline, simulate_strip, PipelineConfig, PipelineResult};
 pub use placement::{imbalance, partition_loads, Layout, PlacementError, SwitchCost};
 pub use timing::{EngineTiming, PrefetchBuffer};
+
+// The zero-allocation tests in [`comparator`] count through the real
+// global allocator, so the engine's test binary installs the counting
+// allocator (a pass-through unless counting is switched on).
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: nmt_obs::CountingAlloc = nmt_obs::CountingAlloc;

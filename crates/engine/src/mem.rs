@@ -1,0 +1,184 @@
+//! Global buffer pools for the conversion hot paths.
+//!
+//! One set of process-wide [`SharedSlicePool`]s backs every pooled
+//! conversion: strip converters check scratch out per strip and return
+//! it when the strip completes, tile output buffers are checked out per
+//! tile and come back when a consumer calls [`recycle_strips`] — so in
+//! steady state (microbench iterations, repeated sweep matrices) the
+//! farm performs O(1) allocations per matrix instead of O(strips·tiles).
+//!
+//! The pools are deliberately *global* rather than thread-local: the
+//! rayon shim spawns fresh scoped threads per parallel call, so
+//! thread-local scratch would die between matrices and reuse nothing.
+//!
+//! Every helper takes a `pooled` flag; with `pooled = false` it degrades
+//! to plain allocation (and `put_*` drops), which is the reference path
+//! the pooled-vs-unpooled determinism proptests compare against. The
+//! pools are correctness-neutral: checked-out buffers are always empty,
+//! so pooled and unpooled runs produce bitwise-identical output — only
+//! capacities (never serialized) differ.
+
+use crate::convert::ConversionStats;
+use nmt_formats::DcsrTile;
+use nmt_mem::{PoolStats, SharedSlicePool};
+
+/// Tile metadata buffers (`rowidx`/`rowptr`/`colidx`) and frontier
+/// staging. Sized generously: a matrix's worth of tile buffers must fit
+/// idle so the next matrix reuses all of them.
+static IDX_POOL: SharedSlicePool<u32> = SharedSlicePool::with_max_idle(8192);
+/// Tile value buffers and kernel accumulators.
+static VAL_POOL: SharedSlicePool<f32> = SharedSlicePool::with_max_idle(8192);
+/// Converter frontier/boundary pointer arrays (two per strip).
+static PTR_POOL: SharedSlicePool<usize> = SharedSlicePool::with_max_idle(1024);
+/// Comparator lane-coordinate staging (one per strip).
+static COORD_POOL: SharedSlicePool<Option<u32>> = SharedSlicePool::with_max_idle(512);
+/// Per-strip tile vectors (`Vec<DcsrTile>`).
+static TILES_POOL: SharedSlicePool<DcsrTile> = SharedSlicePool::with_max_idle(1024);
+/// Per-strip per-tile stats vectors.
+static STATS_POOL: SharedSlicePool<ConversionStats> = SharedSlicePool::with_max_idle(1024);
+
+macro_rules! pool_pair {
+    ($take:ident, $put:ident, $pool:ident, $t:ty, $doc:literal) => {
+        #[doc = concat!("Check out an empty ", $doc, " buffer (capacity ≥ `cap`).")]
+        pub fn $take(pooled: bool, cap: usize) -> Vec<$t> {
+            if pooled {
+                $pool.take(cap)
+            } else {
+                Vec::with_capacity(cap)
+            }
+        }
+
+        #[doc = concat!("Return a ", $doc, " buffer to its pool (dropped when unpooled).")]
+        pub fn $put(pooled: bool, buf: Vec<$t>) {
+            if pooled {
+                $pool.put(buf);
+            }
+        }
+    };
+}
+
+pool_pair!(take_idx, put_idx, IDX_POOL, u32, "tile-index (`u32`)");
+pool_pair!(take_val, put_val, VAL_POOL, f32, "value (`f32`)");
+pool_pair!(take_ptr, put_ptr, PTR_POOL, usize, "frontier-pointer (`usize`)");
+pool_pair!(
+    take_coords,
+    put_coords,
+    COORD_POOL,
+    Option<u32>,
+    "lane-coordinate"
+);
+pool_pair!(take_tiles, put_tiles, TILES_POOL, DcsrTile, "per-strip tile");
+pool_pair!(
+    take_stats,
+    put_stats,
+    STATS_POOL,
+    ConversionStats,
+    "per-tile stats"
+);
+
+/// Return one tile's four buffers to the pools.
+pub fn recycle_tile(tile: DcsrTile) {
+    let DcsrTile {
+        rowidx,
+        rowptr,
+        colidx,
+        values,
+        ..
+    } = tile;
+    IDX_POOL.put(rowidx);
+    IDX_POOL.put(rowptr);
+    IDX_POOL.put(colidx);
+    VAL_POOL.put(values);
+}
+
+/// Recycle a whole farm output (`FarmRun::strips`): every tile's buffers
+/// and every per-strip vector go back to the pools, making the *next*
+/// conversion of a similar matrix allocation-free. Call this when the
+/// tiles have been consumed (e.g. after the online kernel's launch).
+pub fn recycle_strips(strips: Vec<Vec<DcsrTile>>) {
+    for mut strip in strips {
+        for tile in strip.drain(..) {
+            recycle_tile(tile);
+        }
+        TILES_POOL.put(strip);
+    }
+}
+
+/// Aggregate reuse counters across all engine pools (observability only;
+/// hit/miss totals are schedule-dependent and must never be serialized).
+pub fn pool_stats() -> PoolStats {
+    let mut total = PoolStats::default();
+    total.merge(&IDX_POOL.stats());
+    total.merge(&VAL_POOL.stats());
+    total.merge(&PTR_POOL.stats());
+    total.merge(&COORD_POOL.stats());
+    total.merge(&TILES_POOL.stats());
+    total.merge(&STATS_POOL.stats());
+    total
+}
+
+/// Drop every shelved buffer and zero the counters in all engine pools.
+///
+/// Instrumented measurement passes call this first so their allocation
+/// counts start from a reproducible (empty) pool state, independent of
+/// whatever earlier parallel work left on the shelves.
+pub fn reset_pools() {
+    IDX_POOL.reset();
+    VAL_POOL.reset();
+    PTR_POOL.reset();
+    COORD_POOL.reset();
+    TILES_POOL.reset();
+    STATS_POOL.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the pools are process-global and other engine tests run
+    // concurrently in the same process, so assertions here are monotone
+    // (>=) rather than exact — exact counter accounting is covered by
+    // the nmt-mem unit tests on private pools.
+
+    #[test]
+    fn unpooled_take_is_plain_allocation() {
+        let v = take_idx(false, 10);
+        assert!(v.is_empty() && v.capacity() >= 10);
+        put_idx(false, v); // dropped, not shelved
+        let v = take_val(false, 7);
+        assert!(v.is_empty() && v.capacity() >= 7);
+        put_val(false, v);
+    }
+
+    #[test]
+    fn recycle_tile_reshelves_all_buffers() {
+        let reclaimed_before = pool_stats().reclaimed;
+        recycle_tile(DcsrTile {
+            rowidx: Vec::with_capacity(4),
+            rowptr: Vec::with_capacity(5),
+            colidx: Vec::with_capacity(4),
+            values: Vec::with_capacity(4),
+            ..DcsrTile::default()
+        });
+        assert!(pool_stats().reclaimed >= reclaimed_before + 4);
+    }
+
+    #[test]
+    fn recycle_strips_then_take_reuses() {
+        let tile = DcsrTile {
+            rowidx: Vec::with_capacity(100),
+            ..DcsrTile::default()
+        };
+        let mut strip = Vec::with_capacity(3);
+        strip.push(tile);
+        let hits_before = pool_stats().hits;
+        recycle_strips(vec![strip]);
+        let buf = take_idx(true, 100);
+        assert!(buf.capacity() >= 100);
+        let tiles = take_tiles(true, 3);
+        assert!(tiles.capacity() >= 3);
+        assert!(pool_stats().hits >= hits_before + 2);
+        put_idx(true, buf);
+        put_tiles(true, tiles);
+    }
+}

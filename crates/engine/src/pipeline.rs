@@ -339,7 +339,7 @@ mod tests {
         let r = simulate_strip(&csc, 0, &config);
         let mut conv = StripConverter::new(&csc, 0, 8);
         let _ = conv.convert_strip(64);
-        let analytic = EngineTiming::fp32(13.6, &ComparatorTree::new(8).structure())
+        let analytic = EngineTiming::fp32(13.6, &ComparatorTree::new(8).unwrap().structure())
             .conversion_time_ns(&conv.stats());
         let simulated = r.time_ns(&config);
         let rel = (simulated - analytic).abs() / analytic;

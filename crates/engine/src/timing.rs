@@ -147,7 +147,7 @@ mod tests {
     use crate::comparator::{ComparatorTree, STAGE_LATENCY_NS};
 
     fn tree64() -> TreeStructure {
-        ComparatorTree::new(64).structure()
+        ComparatorTree::new(64).unwrap().structure()
     }
 
     #[test]

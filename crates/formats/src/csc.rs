@@ -71,61 +71,17 @@ impl Csc {
 
     /// Check every structural CSC invariant: monotone `colptr` spanning
     /// `0..nnz`, bounded and strictly increasing row indices within each
-    /// column, and matching `rowidx`/`values` lengths.
+    /// column, and matching `rowidx`/`values` lengths. Shared with
+    /// [`crate::views::CscView`], which validates the same invariants
+    /// over borrowed arrays.
     pub fn validate(&self) -> Result<(), FormatError> {
-        check_dims(self.nrows, self.ncols)?;
-        if self.colptr.len() != self.ncols + 1 {
-            return Err(FormatError::LengthMismatch {
-                expected: self.ncols + 1,
-                found: self.colptr.len(),
-                name: "colptr",
-            });
-        }
-        if self.rowidx.len() != self.values.len() {
-            return Err(FormatError::LengthMismatch {
-                expected: self.rowidx.len(),
-                found: self.values.len(),
-                name: "values",
-            });
-        }
-        if self.colptr.first() != Some(&0) {
-            return Err(FormatError::MalformedPointerArray {
-                name: "colptr",
-                detail: "must start at 0".into(),
-            });
-        }
-        let last = self.colptr.last().copied().unwrap_or(0);
-        if last as usize != self.rowidx.len() {
-            return Err(FormatError::MalformedPointerArray {
-                name: "colptr",
-                detail: format!("last entry {} must equal nnz {}", last, self.rowidx.len()),
-            });
-        }
-        if self.colptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(FormatError::MalformedPointerArray {
-                name: "colptr",
-                detail: "must be non-decreasing".into(),
-            });
-        }
-        for (c, w) in self.colptr.windows(2).enumerate() {
-            let (lo, hi) = (w[0] as usize, w[1] as usize);
-            let col_rows = &self.rowidx[lo..hi];
-            for &r in col_rows {
-                if r as usize >= self.nrows {
-                    return Err(FormatError::IndexOutOfBounds {
-                        axis: "row",
-                        index: r,
-                        bound: self.nrows,
-                    });
-                }
-            }
-            if col_rows.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(FormatError::NotCanonical {
-                    detail: format!("column {c} has unsorted or duplicate row indices"),
-                });
-            }
-        }
-        Ok(())
+        validate_csc_parts(
+            self.nrows,
+            self.ncols,
+            &self.colptr,
+            &self.rowidx,
+            self.values.len(),
+        )
     }
 
     /// Build from a COO matrix.
@@ -227,6 +183,83 @@ impl Csc {
         let (lo, hi) = (self.colptr[c] as usize, self.colptr[c + 1] as usize);
         lo + self.rowidx[lo..hi].partition_point(|&r| r < row_start)
     }
+
+    /// Borrow this matrix as a zero-copy [`crate::views::CscView`] — the
+    /// form the conversion engine consumes, so engine code is agnostic to
+    /// whether the arrays are owned here or borrowed from a CSR image.
+    pub fn view(&self) -> crate::views::CscView<'_> {
+        crate::views::CscView::from_validated(
+            self.nrows,
+            self.ncols,
+            &self.colptr,
+            &self.rowidx,
+            &self.values,
+        )
+    }
+}
+
+/// The CSC structural invariants over raw (borrowed) arrays — the single
+/// implementation behind [`Csc::validate`] and `CscView::new`.
+pub(crate) fn validate_csc_parts(
+    nrows: usize,
+    ncols: usize,
+    colptr: &[Index],
+    rowidx: &[Index],
+    values_len: usize,
+) -> Result<(), FormatError> {
+    check_dims(nrows, ncols)?;
+    if colptr.len() != ncols + 1 {
+        return Err(FormatError::LengthMismatch {
+            expected: ncols + 1,
+            found: colptr.len(),
+            name: "colptr",
+        });
+    }
+    if rowidx.len() != values_len {
+        return Err(FormatError::LengthMismatch {
+            expected: rowidx.len(),
+            found: values_len,
+            name: "values",
+        });
+    }
+    if colptr.first() != Some(&0) {
+        return Err(FormatError::MalformedPointerArray {
+            name: "colptr",
+            detail: "must start at 0".into(),
+        });
+    }
+    let last = colptr.last().copied().unwrap_or(0);
+    if last as usize != rowidx.len() {
+        return Err(FormatError::MalformedPointerArray {
+            name: "colptr",
+            detail: format!("last entry {} must equal nnz {}", last, rowidx.len()),
+        });
+    }
+    if colptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(FormatError::MalformedPointerArray {
+            name: "colptr",
+            detail: "must be non-decreasing".into(),
+        });
+    }
+    for (c, w) in colptr.windows(2).enumerate() {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        let col_rows = &rowidx[lo..hi];
+        for &r in col_rows {
+            if r as usize >= nrows {
+                return Err(FormatError::IndexOutOfBounds {
+                    axis: "row",
+                    index: r,
+                    bound: nrows,
+                });
+            }
+        }
+        if col_rows.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(FormatError::NotCanonical {
+                detail: format!("column {c} has unsorted or duplicate row indices"),
+            });
+        }
+    }
+    Ok(())
 }
 
 impl SparseMatrix for Csc {

@@ -44,6 +44,7 @@ pub mod ops;
 pub mod storage;
 pub mod strips;
 pub mod tiled;
+pub mod views;
 
 pub use coo::{Coo, CooEntry};
 pub use csc::Csc;
@@ -55,6 +56,7 @@ pub use error::FormatError;
 pub use storage::{size_ratio, StorageSize};
 pub use strips::{strip_count, strip_nonzero_row_fraction, tile_count, StripStats};
 pub use tiled::{CsrStrip, DcsrTile, TiledCsr, TiledDcsr, DEFAULT_TILE};
+pub use views::CscView;
 
 /// Row/column index type. 4 bytes, matching the paper's storage model where
 /// each `rowptr`/`colidx` entry costs 4 bytes (§2).

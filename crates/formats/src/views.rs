@@ -1,0 +1,194 @@
+//! Zero-copy borrowed views of sparse formats.
+//!
+//! The conversion engine reads a CSC image — it never mutates or keeps
+//! it — so handing it owned arrays forces copies exactly where the paper
+//! wants streaming. [`CscView`] borrows the three CSC arrays instead:
+//! a [`Csc`] lends itself via [`Csc::view`] at zero cost, and a CSR
+//! matrix lends its arrays *reinterpreted* as the CSC image of its
+//! transpose via [`CscView::transpose_of_csr`] (byte-for-byte the same
+//! data — the §4.1 DCSC escape hatch), which previously required
+//! cloning all three arrays.
+//!
+//! Borrowing rules: views are read-only, short-lived (the borrow pins
+//! the source for the conversion call), and carry the same structural
+//! invariants as the owned type — checked constructors validate, the
+//! `from_validated`/`transpose_of_csr` fast paths inherit validity from
+//! a source that already proved it (re-checked in debug builds).
+
+use crate::csc::validate_csc_parts;
+use crate::{Csc, Csr, FormatError, Index, Shape, SparseMatrix, Value};
+
+/// A borrowed CSC image: `colptr`/`rowidx`/`values` slices plus the
+/// dimensions, upholding every [`Csc`] invariant.
+#[derive(Debug, Clone, Copy)]
+pub struct CscView<'a> {
+    nrows: usize,
+    ncols: usize,
+    colptr: &'a [Index],
+    rowidx: &'a [Index],
+    values: &'a [Value],
+}
+
+impl<'a> CscView<'a> {
+    /// Build from borrowed arrays, checking every CSC invariant (the
+    /// same checks as [`Csc::new`], without taking ownership).
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        colptr: &'a [Index],
+        rowidx: &'a [Index],
+        values: &'a [Value],
+    ) -> Result<Self, FormatError> {
+        validate_csc_parts(nrows, ncols, colptr, rowidx, values.len())?;
+        Ok(Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Build from arrays whose invariants the caller has already proved
+    /// (a validated `Csc`, a validated `Csr` transpose image). Debug
+    /// builds re-check.
+    pub(crate) fn from_validated(
+        nrows: usize,
+        ncols: usize,
+        colptr: &'a [Index],
+        rowidx: &'a [Index],
+        values: &'a [Value],
+    ) -> Self {
+        debug_assert!(
+            validate_csc_parts(nrows, ncols, colptr, rowidx, values.len()).is_ok(),
+            "CscView::from_validated given invalid arrays"
+        );
+        Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// The CSC image of `Aᵀ`, borrowed straight from a CSR image of `A`:
+    /// `rowptr → colptr`, `colidx → rowidx`, no data movement. The CSR
+    /// invariants of `A` *are* the CSC invariants of `Aᵀ`, so no
+    /// revalidation is needed.
+    pub fn transpose_of_csr(csr: &'a Csr) -> Self {
+        let shape = csr.shape();
+        Self::from_validated(
+            shape.ncols,
+            shape.nrows,
+            csr.rowptr(),
+            csr.colidx(),
+            csr.values(),
+        )
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    pub fn colptr(&self) -> &'a [Index] {
+        self.colptr
+    }
+
+    /// Row index array (one per non-zero, column-major).
+    pub fn rowidx(&self) -> &'a [Index] {
+        self.rowidx
+    }
+
+    /// Value array (one per non-zero, column-major).
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// Copy into an owned [`Csc`] (test/interop convenience; the point
+    /// of the view is to avoid this on hot paths).
+    pub fn to_owned_csc(&self) -> Csc {
+        Csc::from_parts_unchecked(
+            self.nrows,
+            self.ncols,
+            self.colptr.to_vec(),
+            self.rowidx.to_vec(),
+            self.values.to_vec(),
+        )
+    }
+
+    /// See [`Csc::col_frontier_at`]: first element of column `c` with
+    /// row ≥ `row_start`, by binary search.
+    pub fn col_frontier_at(&self, c: usize, row_start: Index) -> usize {
+        let (lo, hi) = (self.colptr[c] as usize, self.colptr[c + 1] as usize);
+        lo + self.rowidx[lo..hi].partition_point(|&r| r < row_start)
+    }
+}
+
+impl SparseMatrix for CscView<'_> {
+    fn shape(&self) -> Shape {
+        Shape::new(self.nrows, self.ncols)
+    }
+
+    fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample_csc() -> Csc {
+        Csc::new(
+            5,
+            3,
+            vec![0, 3, 6, 8],
+            vec![0, 2, 4, 0, 1, 4, 0, 2],
+            vec![10.0, 12.0, 14.0, 20.0, 21.0, 24.0, 30.0, 32.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn view_borrows_without_copying() {
+        let csc = sample_csc();
+        let v = csc.view();
+        assert_eq!(v.shape(), csc.shape());
+        assert_eq!(v.nnz(), csc.nnz());
+        assert!(std::ptr::eq(v.colptr(), csc.colptr()), "no copy");
+        assert!(std::ptr::eq(v.values(), csc.values()), "no copy");
+        assert_eq!(v.to_owned_csc(), csc);
+    }
+
+    #[test]
+    fn checked_constructor_validates() {
+        assert!(CscView::new(2, 2, &[0, 1], &[0], &[1.0]).is_err()); // short colptr
+        assert!(CscView::new(2, 2, &[0, 2, 1], &[0], &[1.0]).is_err()); // decreasing
+        assert!(CscView::new(2, 1, &[0, 1], &[7], &[1.0]).is_err()); // row oob
+        assert!(CscView::new(3, 1, &[0, 2], &[1, 1], &[1.0, 2.0]).is_err()); // dup
+        assert!(CscView::new(5, 0, &[0], &[], &[]).is_ok());
+    }
+
+    #[test]
+    fn transpose_of_csr_matches_owned_conversion() {
+        let coo =
+            Coo::from_triplets(4, 6, &[0, 1, 1, 3], &[2, 0, 5, 3], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let v = CscView::transpose_of_csr(&csr);
+        assert_eq!(v.shape(), Shape::new(6, 4));
+        assert!(std::ptr::eq(v.colptr(), csr.rowptr()), "no copy");
+        // The borrowed image equals the materialized CSC of Aᵀ.
+        let owned = v.to_owned_csc();
+        assert_eq!(owned, Csc::from_coo(&csr.transpose().to_coo()));
+    }
+
+    #[test]
+    fn frontier_search_matches_owned() {
+        let csc = sample_csc();
+        let v = csc.view();
+        for c in 0..3 {
+            for row in 0..6 {
+                assert_eq!(v.col_frontier_at(c, row), csc.col_frontier_at(c, row));
+            }
+        }
+    }
+}

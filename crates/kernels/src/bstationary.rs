@@ -29,6 +29,12 @@ use nmt_sim::{BlockCtx, Gpu, InstrClass, SimError, TrafficClass};
 /// Per-row inner loop shared by every B-stationary variant: FMA the row
 /// segment against the shared-memory B tile and atomically add the partial
 /// C row. Returns nothing; updates the functional output.
+///
+/// `cols` are tile-local column indices; `col_base` rebases them to global
+/// columns in-register, so callers hand the tile's `colidx` slice straight
+/// through instead of materializing a rebased copy per row. `acc` is
+/// caller-provided scratch (cleared and refilled here) so the per-row
+/// accumulator costs zero allocations across the whole launch.
 #[allow(clippy::too_many_arguments)]
 fn process_tile_row(
     ctx: &mut BlockCtx<'_>,
@@ -36,13 +42,17 @@ fn process_tile_row(
     c_dev: &DenseDevice,
     b: &DenseMatrix,
     global_row: usize,
-    cols_global: &[u32],
+    cols: &[u32],
+    col_base: u32,
     vals: &[f32],
     k: usize,
+    acc: &mut Vec<f32>,
 ) {
     let warp = ctx.warp_size();
-    let mut acc = vec![0.0f32; k];
-    for (&col, &v) in cols_global.iter().zip(vals) {
+    acc.clear();
+    acc.resize(k, 0.0);
+    for (&cl, &v) in cols.iter().zip(vals) {
+        let col = (col_base + cl) as usize;
         ctx.warp_instr(InstrClass::Integer, k.min(warp), 1);
         let mut kc = 0;
         while kc < k {
@@ -50,7 +60,7 @@ fn process_tile_row(
             // B comes from shared memory: issue cost only, no global traffic.
             ctx.shared_op(chunk as u64 * WORD, chunk);
             ctx.fma(chunk, 1);
-            let brow = b.row(col as usize);
+            let brow = b.row(col);
             for x in kc..kc + chunk {
                 acc[x] += v * brow[x];
             }
@@ -61,7 +71,7 @@ fn process_tile_row(
     let (off, bytes) = c_dev.row_segment(global_row as u64, 0, k as u64);
     ctx.atomic_add_global(&c_dev.buf, off, bytes);
     let out = c.row_mut(global_row);
-    for (o, a) in out.iter_mut().zip(&acc) {
+    for (o, a) in out.iter_mut().zip(acc.iter()) {
         *o += a;
     }
 }
@@ -110,8 +120,9 @@ pub fn bstat_tiled_csr(
     let k = b.ncols();
     let tile_w = tiled.tile_width();
     // Device image: per strip, a full rowptr plus the strip's elements.
-    let mut strip_rowptr = Vec::new();
-    let mut strip_elems = Vec::new();
+    // Strip count is known up front — reserve once instead of growing.
+    let mut strip_rowptr = Vec::with_capacity(tiled.strips().len());
+    let mut strip_elems = Vec::with_capacity(tiled.strips().len());
     for strip in tiled.strips() {
         strip_rowptr.push(gpu.alloc((n as u64 + 1) * WORD, TrafficClass::MatA));
         strip_elems.push(gpu.alloc((strip.nnz().max(1) as u64) * 2 * WORD, TrafficClass::MatA));
@@ -126,6 +137,7 @@ pub fn bstat_tiled_csr(
     // of B is loaded into the shared memory only once").
     let num_blocks = tiled.strips().len();
     let shared = tile_w * k * WORD as usize;
+    let mut acc = nmt_engine::mem::take_val(true, k);
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         let s = ctx.block_id;
         let strip = &tiled.strips()[s];
@@ -162,23 +174,22 @@ pub fn bstat_tiled_csr(
                     seg as u64 * 2 * WORD,
                     false,
                 );
-                let cols_global: Vec<u32> = strip.colidx[lo..hi]
-                    .iter()
-                    .map(|&cl| strip.col_start + cl)
-                    .collect();
                 process_tile_row(
                     ctx,
                     &mut c,
                     &c_dev,
                     b,
                     r,
-                    &cols_global,
+                    &strip.colidx[lo..hi],
+                    strip.col_start,
                     &strip.values[lo..hi],
                     k,
+                    &mut acc,
                 );
             }
         }
     })?;
+    nmt_engine::mem::put_val(true, acc);
     Ok(KernelRun { c, stats })
 }
 
@@ -203,6 +214,7 @@ pub fn bstat_tiled_dcsr_offline(
     // the strip's tiles.
     let num_blocks = tiled.num_strips();
     let shared = tile_w * k * WORD as usize;
+    let mut acc = nmt_engine::mem::take_val(true, k);
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         let s = ctx.block_id;
         let first_width = tiled.strips()[s].first().map_or(tile_w, |t| t.width);
@@ -226,23 +238,22 @@ pub fn bstat_tiled_dcsr_offline(
                 let (lo, hi) = (tile.rowptr[i] as usize, tile.rowptr[i + 1] as usize);
                 ctx.warp_instr(InstrClass::ControlFlow, 1, 1);
                 let global_row = (tile.row_start + tile.rowidx[i]) as usize;
-                let cols_global: Vec<u32> = tile.colidx[lo..hi]
-                    .iter()
-                    .map(|&cl| tile.col_start + cl)
-                    .collect();
                 process_tile_row(
                     ctx,
                     &mut c,
                     &c_dev,
                     b,
                     global_row,
-                    &cols_global,
+                    &tile.colidx[lo..hi],
+                    tile.col_start,
                     &tile.values[lo..hi],
                     k,
+                    &mut acc,
                 );
             }
         }
     })?;
+    nmt_engine::mem::put_val(true, acc);
     Ok(KernelRun { c, stats })
 }
 
@@ -287,6 +298,7 @@ pub fn bstat_tiled_dcsr_traversal(
     let tiles_per_strip = tiled.tiles_per_strip();
     let num_blocks = nstrips * kc_tiles;
     let shared = tile_w * tile_w * WORD as usize;
+    let mut acc = nmt_engine::mem::take_val(true, tile_w);
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         // Block order implements the traversal.
         let (s, kc) = match traversal {
@@ -322,7 +334,8 @@ pub fn bstat_tiled_dcsr_traversal(
                 let (lo, hi) = (tile.rowptr[i] as usize, tile.rowptr[i + 1] as usize);
                 ctx.warp_instr(InstrClass::ControlFlow, 1, 1);
                 let global_row = (tile.row_start + tile.rowidx[i]) as usize;
-                let mut acc = vec![0.0f32; kw];
+                acc.clear();
+                acc.resize(kw, 0.0);
                 for e in lo..hi {
                     let col = (tile.col_start + tile.colidx[e]) as usize;
                     let v = tile.values[e];
@@ -349,6 +362,7 @@ pub fn bstat_tiled_dcsr_traversal(
             }
         }
     })?;
+    nmt_engine::mem::put_val(true, acc);
     Ok(KernelRun { c, stats })
 }
 
@@ -430,6 +444,7 @@ pub fn bstat_tiled_dcsr_online_obs(
                 .map(|s| simulate_strip(csc, s, &pipe_cfg))
                 .collect()
         } else {
+            // nmt-lint: allow(hot-alloc) — cold branch, empty Vec never allocates
             Vec::new()
         };
         // Record spans and histograms serially, strips ascending: span
@@ -464,6 +479,7 @@ pub fn bstat_tiled_dcsr_online_obs(
     let launch_span = obs.span("kernels.launch");
     obs.flight
         .record(nmt_obs::EventSite::KernelLaunch, 0, nstrips as u64, k as u64);
+    let mut acc = nmt_engine::mem::take_val(farm_cfg.pool, k);
     let stats = gpu.launch(shared, num_blocks, |ctx| {
         let s = ctx.block_id;
         let first_width = tiles[s].first().map_or(tile_w, |t| t.width);
@@ -504,23 +520,27 @@ pub fn bstat_tiled_dcsr_online_obs(
                 let (lo, hi) = (tile.rowptr[i] as usize, tile.rowptr[i + 1] as usize);
                 ctx.warp_instr(InstrClass::ControlFlow, 1, 1);
                 let global_row = (tile.row_start + tile.rowidx[i]) as usize;
-                let cols_global: Vec<u32> = tile.colidx[lo..hi]
-                    .iter()
-                    .map(|&cl| tile.col_start + cl)
-                    .collect();
                 process_tile_row(
                     ctx,
                     &mut c,
                     &c_dev,
                     b,
                     global_row,
-                    &cols_global,
+                    &tile.colidx[lo..hi],
+                    tile.col_start,
                     &tile.values[lo..hi],
                     k,
+                    &mut acc,
                 );
             }
         }
     })?;
+    nmt_engine::mem::put_val(farm_cfg.pool, acc);
+    // The freshly-minted tiles have been consumed; hand their buffers back
+    // so the next online conversion of a similar matrix allocates nothing.
+    if farm_cfg.pool {
+        nmt_engine::mem::recycle_strips(tiles);
+    }
     drop(launch_span);
     Ok(OnlineRun {
         run: KernelRun { c, stats },

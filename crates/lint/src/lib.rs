@@ -14,6 +14,7 @@
 //! | `thread-order`  | determinism-scoped modules    | error    |
 //! | `panic`         | plain-`pub` fns, lib crates   | error    |
 //! | `slice-index`   | plain-`pub` fns, lib crates   | warning (error when determinism-scoped) |
+//! | `hot-alloc`     | allocation-hot-path modules   | error    |
 //! | `metric-name`   | all library sources           | error    |
 //! | `bad-allow`     | allow-comment hygiene         | error    |
 //! | `unused-allow`  | allow-comment hygiene         | warning  |
@@ -61,6 +62,18 @@ pub const WALLCLOCK_ALLOWED: &[&str] = &[
     "crates/bench/src/harness.rs",
 ];
 
+/// The allocation hot paths: the conversion farm, the strip converter,
+/// the comparator tree, and the online B-stationary kernel. These draw
+/// their working buffers from the `nmt_engine::mem` pools; the
+/// `hot-alloc` rule bans ad-hoc `Vec::new`/`vec![]` here so per-strip
+/// allocation churn cannot silently return.
+pub const HOT_PATH_SCOPED: &[&str] = &[
+    "crates/engine/src/comparator.rs",
+    "crates/engine/src/convert.rs",
+    "crates/engine/src/farm.rs",
+    "crates/kernels/src/bstationary.rs",
+];
+
 /// Errors from driving the linter (I/O and path problems; findings are
 /// not errors, they live in the [`Report`]).
 #[derive(Debug)]
@@ -94,8 +107,9 @@ impl std::error::Error for LintError {}
 /// Binary targets (anything under a `bin/` directory or named `main.rs`)
 /// keep the determinism rules but are exempt from the pub-API panic
 /// rules — a CLI may legitimately die with a message. Fixture files with
-/// a `scoped_` name prefix are treated as determinism-scoped so the
-/// fixture suite can exercise those rules.
+/// a `scoped_` name prefix are treated as determinism-scoped, and ones
+/// with a `hot_` prefix as allocation-hot-path, so the fixture suite can
+/// exercise those rules.
 pub fn classify(rel_path: &str) -> FileClass {
     let normalized = rel_path.replace('\\', "/");
     let file_name = normalized.rsplit('/').next().unwrap_or(&normalized);
@@ -105,6 +119,8 @@ pub fn classify(rel_path: &str) -> FileClass {
             || file_name.starts_with("scoped_"),
         wallclock_allowed: WALLCLOCK_ALLOWED.contains(&normalized.as_str()),
         panic_checked: !is_binary,
+        hot_path: HOT_PATH_SCOPED.contains(&normalized.as_str())
+            || file_name.starts_with("hot_"),
     }
 }
 
@@ -227,6 +243,15 @@ mod tests {
     fn classification_scopes_rules() {
         let c = classify("crates/engine/src/farm.rs");
         assert!(c.determinism_scoped && c.panic_checked && !c.wallclock_allowed);
+        assert!(c.hot_path, "the farm is an allocation hot path");
+        let c = classify("crates/engine/src/convert.rs");
+        assert!(c.hot_path && !c.determinism_scoped);
+        let c = classify("crates/kernels/src/bstationary.rs");
+        assert!(c.hot_path);
+        let c = classify("tests/lint_fixtures/hot_alloc.rs");
+        assert!(c.hot_path && !c.determinism_scoped);
+        let c = classify("crates/engine/src/mem.rs");
+        assert!(!c.hot_path, "the pool itself may allocate");
         let c = classify("crates/obs/src/span.rs");
         assert!(c.wallclock_allowed && !c.determinism_scoped);
         let c = classify("crates/obs/src/alloc.rs");
@@ -250,7 +275,11 @@ mod tests {
 
     #[test]
     fn every_scoped_path_is_normalized() {
-        for p in DETERMINISM_SCOPED.iter().chain(WALLCLOCK_ALLOWED) {
+        for p in DETERMINISM_SCOPED
+            .iter()
+            .chain(WALLCLOCK_ALLOWED)
+            .chain(HOT_PATH_SCOPED)
+        {
             assert!(!p.contains('\\'), "{p} must use forward slashes");
             assert!(p.ends_with(".rs"));
         }

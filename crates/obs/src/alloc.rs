@@ -26,11 +26,19 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Global gate: when false (the default) the allocator is a pure
 /// pass-through to [`System`].
 static COUNTING: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide totals, bumped alongside the thread-locals. These see
+/// allocations made on *worker* threads (the rayon shim runs parallel
+/// work on freshly spawned scoped threads), which a caller-thread
+/// [`AllocScope`] cannot — whole-parallel-region measurements like the
+/// microbench alloc budgets diff these instead.
+static PROC_COUNT: AtomicU64 = AtomicU64::new(0);
+static PROC_BYTES: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
@@ -55,9 +63,21 @@ pub fn thread_totals() -> (u64, u64) {
     (ALLOC_COUNT.with(Cell::get), ALLOC_BYTES.with(Cell::get))
 }
 
+/// Process-wide running totals across **all** threads since counting was
+/// first enabled: `(allocation_count, bytes_requested)`. Monotonic, like
+/// [`thread_totals`]. Use for measurements spanning a parallel region.
+pub fn process_totals() -> (u64, u64) {
+    (
+        PROC_COUNT.load(Ordering::Relaxed),
+        PROC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
 fn record(bytes: usize) {
     ALLOC_COUNT.with(|c| c.set(c.get() + 1));
     ALLOC_BYTES.with(|b| b.set(b.get() + bytes as u64));
+    PROC_COUNT.fetch_add(1, Ordering::Relaxed);
+    PROC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
 }
 
 /// Counting wrapper around the system allocator. Zero-sized; install as
@@ -162,6 +182,17 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[test]
+    fn process_totals_see_other_threads() {
+        let (c0, b0) = process_totals();
+        record(16);
+        std::thread::spawn(|| record(48)).join().unwrap();
+        let (c1, b1) = process_totals();
+        // Monotone (>=): concurrent tests may also call record.
+        assert!(c1 - c0 >= 2, "worker-thread records must be visible");
+        assert!(b1 - b0 >= 64);
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() {
     println!();
 
     // Step-by-step: drive the comparator tree manually over the frontier.
-    let tree = ComparatorTree::new(3);
+    let tree = ComparatorTree::new(3).expect("3 lanes is within 1..=64");
     let mut frontier = [0usize, 3, 6]; // col_ptr starts (step 1 of Fig. 13)
     let boundary = [3usize, 6, 8];
     println!("comparator passes (step 2-3 of Figure 13):");
@@ -80,7 +80,9 @@ fn main() {
     println!();
 
     // And the hardware story (§4.2.2, §5.3) for the real 64-wide unit.
-    let tree64 = ComparatorTree::new(64).structure();
+    let tree64 = ComparatorTree::new(64)
+        .expect("64 lanes is the engine width")
+        .structure();
     let timing = EngineTiming::fp32(13.6, &tree64);
     let buffer = PrefetchBuffer::paper_default();
     let area = AreaEnergyModel::for_gpu(&GpuConfig::gv100());

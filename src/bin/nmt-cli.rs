@@ -13,7 +13,7 @@
 //!                 [--metrics-json <metrics.json>] [--fault-seed N [--fault-rate F]]
 //! nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
 //!                 [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
-//!                 [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F]
+//!                 [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F] [--alloc-margin F]
 //!                 [--progress] [--fault-seed N [--fault-rate F]]
 //!                 [--history <HISTORY.jsonl>] [--diag-dir <dir>]
 //! nmt-cli doctor  <nmt-diag-*.json>
@@ -118,7 +118,7 @@ USAGE:
                                           vs measured traffic per operand
   nmt-cli bench   [--scale small|medium|paper] [--threads N] [--out <BENCH.json>]
                   [--baseline <BENCH.json>] [--tol-speedup F] [--tol-accuracy F]
-                  [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F]
+                  [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F] [--alloc-margin F]
                   [--progress] [--fault-seed N [--fault-rate F]]
                                           sweep the synthetic suite into a
                                           schema-versioned run ledger; with
@@ -136,7 +136,9 @@ USAGE:
                                           --baseline it also gates timings,
                                           failing only when a median exceeds
                                           the baseline CI by --perf-margin
-                                          (fraction, default 0.5)
+                                          (fraction, default 0.5); per-phase
+                                          alloc.count/alloc.bytes gate the
+                                          same way via --alloc-margin
                                           --progress draws a live done/total
                                           + ETA line on stderr (auto-off when
                                           stderr is not a TTY)
@@ -294,7 +296,9 @@ fn cmd_convert(rest: &[&String]) -> Result<(), String> {
     let a = load(rest)?;
     let csc = a.to_csc();
     let (tiles, stats) = convert_matrix(&csc, tile, tile);
-    let tree = ComparatorTree::new(tile).structure();
+    let tree = ComparatorTree::new(tile)
+        .map_err(|e| e.to_string())?
+        .structure();
     let timing = EngineTiming::fp32(13.6, &tree);
     let per_strip_ns = timing.conversion_time_ns(&stats) / tiles.len().max(1) as f64;
     println!("strips           : {}", tiles.len());
@@ -453,6 +457,11 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
     let perf_requested = rest.iter().any(|x| x.as_str() == "--perf");
     let perf_tol = PerfTolerance {
         margin_frac: parse_flag(rest, "--perf-margin", PerfTolerance::default().margin_frac)?,
+        alloc_margin_frac: parse_flag(
+            rest,
+            "--alloc-margin",
+            PerfTolerance::default().alloc_margin_frac,
+        )?,
         ..PerfTolerance::default()
     };
     let perf_cfg = if perf_requested {

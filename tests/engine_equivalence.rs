@@ -86,7 +86,7 @@ proptest! {
     fn comparator_tree_matches_min_oracle(
         coords in proptest::collection::vec(proptest::option::of(0u32..1000), 1..=64)
     ) {
-        let tree = ComparatorTree::new(coords.len());
+        let tree = ComparatorTree::new(coords.len()).unwrap();
         let got = tree.find_min(&coords);
         let want = coords.iter().flatten().min().copied();
         match (got, want) {
@@ -109,7 +109,7 @@ proptest! {
         let csc = csr.to_csc();
         let (_, stats) = convert_matrix(&csc, 8, 8);
         if stats.elements >= 64 {
-            let tree = ComparatorTree::new(8).structure();
+            let tree = ComparatorTree::new(8).unwrap().structure();
             let t = EngineTiming::fp32(13.6, &tree);
             // Count only streaming cycles (passes bound the row overhead).
             let gbps = t.conversion_gbps(&ConversionStats {

@@ -1,0 +1,35 @@
+//! Fixture: per-call containers on an allocation hot path (the `hot_`
+//! filename prefix marks this file hot-path-scoped).
+
+fn per_strip_scratch(k: usize) -> Vec<f32> {
+    vec![0.0f32; k] //~ ERROR hot-alloc
+}
+
+fn growing_accumulator() -> Vec<u32> {
+    let mut out = Vec::new(); //~ ERROR hot-alloc
+    out.push(1);
+    out
+}
+
+fn pooled_is_fine(pooled: bool, k: usize) -> Vec<f32> {
+    // Pool takes and right-sized reservations don't churn.
+    let mut acc = mem::take_val(pooled, k);
+    acc.reserve(k);
+    acc
+}
+
+fn reserved_is_fine(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}
+
+fn justified_cold_site() -> Vec<u32> {
+    // nmt-lint: allow(hot-alloc) — cold path, only reached on fault escalation
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt() -> Vec<u32> {
+        vec![1, 2, 3]
+    }
+}
