@@ -61,6 +61,8 @@ impl ProgressReporter {
 
     /// Matrices completed so far.
     pub fn completed(&self) -> usize {
+        // ordering: monotone counter snapshot for a progress line; an
+        // instantaneously stale read only delays the redraw by one tick.
         self.done.load(Ordering::Relaxed)
     }
 
@@ -78,6 +80,8 @@ impl ProgressReporter {
     /// Record one finished matrix and redraw the line.
     pub fn matrix_done(&self, matrix: &str) {
         let _ = matrix;
+        // ordering: monotone completion counter; the result feeds only
+        // the human progress line, never cross-thread state.
         self.done.fetch_add(1, Ordering::Relaxed);
         if self.enabled {
             self.redraw();

@@ -1,0 +1,297 @@
+//! Intra-crate call-graph construction over the parsed `fn` items.
+//!
+//! Call sites are extracted syntactically from each function's body
+//! token range and resolved *by name* against the crate's own function
+//! table. Resolution is deliberately conservative in the over-approximate
+//! direction — when the receiver type of a method call is unknown, every
+//! same-named method in the crate becomes a candidate callee — because
+//! the taint pass that consumes these edges must never *miss* a flow.
+//! External calls (`std`, other crates) resolve to nothing and simply
+//! do not produce edges; their effects are modeled by the taint pass's
+//! source/sink pattern sets instead.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::FnItem;
+use std::collections::BTreeMap;
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name: last path segment, method name, or macro name.
+    pub callee: String,
+    /// Path segments before the callee for qualified calls
+    /// (`mem::take_idx` → `["mem"]`, `Self::helper` → `["Self"]`).
+    pub path: Vec<String>,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// `.callee(...)` — receiver type unknown.
+    pub is_method: bool,
+    /// `callee!(...)`.
+    pub is_macro: bool,
+}
+
+/// Keywords that can precede `(` without being calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "let", "move", "as", "in", "loop", "else",
+    "unsafe", "box", "mut", "ref", "dyn", "impl", "pub", "use", "mod", "struct", "enum", "where",
+    "const", "static", "type", "trait", "break", "continue", "yield", "async", "await",
+];
+
+/// Extract every call site in the token range `[start, end)`.
+pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
+    let (start, end) = range;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let is_macro = next.map(|n| n.is_punct('!')) == Some(true)
+            && tokens
+                .get(i + 2)
+                .map(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+                == Some(true);
+        let is_call = next.map(|n| n.is_punct('(')) == Some(true);
+        if !is_macro && !is_call {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a declaration, not a call.
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let is_method = !is_macro && i > 0 && tokens[i - 1].is_punct('.');
+        // Collect `seg::seg::` path prefix for qualified calls.
+        let mut path = Vec::new();
+        if !is_method {
+            let mut j = i;
+            while j >= 3
+                && tokens[j - 1].is_punct(':')
+                && tokens[j - 2].is_punct(':')
+                && tokens[j - 3].kind == TokenKind::Ident
+            {
+                path.push(tokens[j - 3].text.clone());
+                j -= 3;
+            }
+            path.reverse();
+        }
+        // Uppercase-initial bare names are type constructors (`Some`,
+        // `Ok`, tuple structs) — local fns are snake_case; skip the
+        // noise. Qualified/method calls keep their lowercase callee.
+        let skip_ctor =
+            !is_macro && t.text.starts_with(|c: char| c.is_ascii_uppercase());
+        if !skip_ctor {
+            out.push(CallSite {
+                callee: t.text.clone(),
+                path,
+                line: t.line,
+                is_method,
+                is_macro,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A function's identity inside a [`CallGraph`]: index into the crate's
+/// function table.
+pub type FnId = usize;
+
+/// The per-crate call graph: functions plus resolved call edges.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Caller → callees (deduplicated, with the call-site line of the
+    /// first occurrence, for chain reporting).
+    pub edges: BTreeMap<FnId, Vec<(FnId, u32)>>,
+    /// Total resolved edge count.
+    pub edge_count: usize,
+}
+
+/// Look-up tables over a crate's function list.
+pub struct FnTable<'a> {
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    free_by_name: BTreeMap<&'a str, Vec<FnId>>,
+    by_qual: BTreeMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> FnTable<'a> {
+    /// Index `fns` (one entry per [`FnItem`], same order).
+    pub fn new(fns: &'a [FnItem]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+            if f.impl_type.is_none() {
+                free_by_name.entry(&f.name).or_default().push(id);
+            }
+            by_qual.entry(&f.qual).or_default().push(id);
+        }
+        FnTable {
+            by_name,
+            free_by_name,
+            by_qual,
+        }
+    }
+
+    /// Resolve one call site from inside `caller` to candidate callees.
+    pub fn resolve(&self, caller: &FnItem, site: &CallSite) -> Vec<FnId> {
+        if site.is_macro {
+            return Vec::new();
+        }
+        if site.is_method {
+            // Receiver type unknown: every same-named method or free fn
+            // is a candidate (over-approximation, documented).
+            return self.by_name.get(site.callee.as_str()).cloned().unwrap_or_default();
+        }
+        if let Some(last) = site.path.last() {
+            let subject = if last == "Self" {
+                caller.impl_type.as_deref()
+            } else {
+                Some(last.as_str())
+            };
+            if let Some(ty) = subject {
+                let qual = format!("{ty}::{}", site.callee);
+                if let Some(ids) = self.by_qual.get(qual.as_str()) {
+                    return ids.clone();
+                }
+            }
+            // `module::free_fn(...)`: module-like (lowercase) prefixes
+            // may target a free fn elsewhere in the crate.
+            if last
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                || last == "crate"
+                || last == "self"
+                || last == "super"
+            {
+                return self
+                    .free_by_name
+                    .get(site.callee.as_str())
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            // `ExternalType::method(...)` with no local impl: no edge.
+            return Vec::new();
+        }
+        // Bare call: free functions only.
+        self.free_by_name
+            .get(site.callee.as_str())
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Build the call graph for one crate. `tokens_of` maps a function to
+/// the token stream of its file (functions from several files share one
+/// graph; the caller hands each function's tokens back to us).
+pub fn build<'a>(
+    fns: &'a [FnItem],
+    tokens_of: impl Fn(FnId) -> &'a [Token],
+) -> (CallGraph, FnTable<'a>) {
+    let table = FnTable::new(fns);
+    let mut graph = CallGraph::default();
+    for (id, f) in fns.iter().enumerate() {
+        let Some(body) = f.body else { continue };
+        let mut seen: Vec<FnId> = Vec::new();
+        let mut edges: Vec<(FnId, u32)> = Vec::new();
+        for site in call_sites(tokens_of(id), body) {
+            for callee in table.resolve(f, &site) {
+                if callee != id && !seen.contains(&callee) {
+                    seen.push(callee);
+                    edges.push((callee, site.line));
+                }
+            }
+        }
+        graph.edge_count += edges.len();
+        if !edges.is_empty() {
+            graph.edges.insert(id, edges);
+        }
+    }
+    (graph, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_fns;
+
+    fn graph_of(src: &str) -> (Vec<FnItem>, CallGraph, Vec<Token>) {
+        let tokens = lex(src).tokens;
+        let fns = parse_fns(&tokens);
+        let toks = tokens.clone();
+        let (g, _) = build(&fns, |_| &toks[..]);
+        (fns, g, tokens)
+    }
+
+    fn edge(fns: &[FnItem], g: &CallGraph, from: &str, to: &str) -> bool {
+        let fi = fns.iter().position(|f| f.qual == from).unwrap();
+        let ti = fns.iter().position(|f| f.qual == to).unwrap();
+        g.edges
+            .get(&fi)
+            .is_some_and(|es| es.iter().any(|(c, _)| *c == ti))
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve() {
+        let (fns, g, _) = graph_of(
+            "fn leaf() {}\n\
+             fn mid() { leaf(); }\n\
+             fn top() { crate::mid(); }\n",
+        );
+        assert!(edge(&fns, &g, "mid", "leaf"));
+        assert!(edge(&fns, &g, "top", "mid"));
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let (fns, g, _) = graph_of(
+            "struct A; impl A { fn go(&self) {} }\n\
+             struct B; impl B { fn go(&self) {} }\n\
+             fn drive(a: &A) { a.go(); }\n",
+        );
+        // Unknown receiver: both `go` methods become candidates.
+        assert!(edge(&fns, &g, "drive", "A::go"));
+        assert!(edge(&fns, &g, "drive", "B::go"));
+    }
+
+    #[test]
+    fn external_type_calls_produce_no_edges() {
+        let (fns, g, _) = graph_of(
+            "fn with_capacity() {}\n\
+             fn f() { let v: Vec<u8> = Vec::with_capacity(4); }\n",
+        );
+        // `Vec` has no local impl, so the qualified call does NOT fall
+        // back onto the unrelated local free fn of the same name.
+        assert!(!edge(&fns, &g, "f", "with_capacity"));
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let (fns, g, _) = graph_of(
+            "struct S; impl S { fn helper() {} fn api(&self) { Self::helper(); } }",
+        );
+        assert!(edge(&fns, &g, "S::api", "S::helper"));
+    }
+
+    #[test]
+    fn constructors_are_not_calls() {
+        let (_, g, _) = graph_of("fn f() -> Option<u8> { Some(1) }");
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn macro_sites_are_extracted_but_unresolved() {
+        let tokens = lex("fn f() { writeln!(out, \"x\").ok(); }").tokens;
+        let fns = parse_fns(&tokens);
+        let sites = call_sites(&tokens, fns[0].body.unwrap());
+        assert!(sites.iter().any(|s| s.is_macro && s.callee == "writeln"));
+    }
+}

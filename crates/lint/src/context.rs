@@ -141,18 +141,35 @@ pub fn contexts(tokens: &[Token]) -> Vec<TokenCtx> {
     out
 }
 
-/// One `// nmt-lint: allow(<rule>) — <reason>` escape hatch.
+/// What a `// nmt-lint: ...` directive asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(<rule>)`: suppress a matching diagnostic on the next line.
+    Allow,
+    /// `sanitize(<rule>)`: the function annotated on the next line
+    /// launders taint — dataflow passes stop propagating through it.
+    Sanitize,
+}
+
+/// One `// nmt-lint: allow(<rule>) — <reason>` (or `sanitize(...)`)
+/// escape hatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowDirective {
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based line the directive ends on (equal to `line` unless the
+    /// reason continues onto indented follow-up comment lines).
+    pub end_line: u32,
+    /// Allow or sanitize.
+    pub kind: DirectiveKind,
     /// The rule being allowed.
     pub rule: String,
     /// The justification after the separator (may be empty = invalid).
     pub reason: String,
 }
 
-/// Parse `nmt-lint: allow(...)` directives out of a file's comments.
+/// Parse `nmt-lint: allow(...)` / `nmt-lint: sanitize(...)` directives
+/// out of a file's comments.
 ///
 /// A directive must be the *start* of its comment (modulo whitespace), so
 /// prose that merely mentions the syntax — including doc comments, whose
@@ -160,18 +177,45 @@ pub struct AllowDirective {
 /// Accepted separators between `allow(rule)` and the reason: `—`, `-`,
 /// `:` or just whitespace. A missing reason is reported by the
 /// `bad-allow` rule, not here.
+///
+/// A long reason may continue across lines: a `//` comment on the
+/// immediately following line whose text is indented by two or more
+/// spaces is appended to the reason, and the directive's `end_line`
+/// advances so suppression still anchors to the code below the comment
+/// block.
 pub fn allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
-    let mut out = Vec::new();
+    let mut out: Vec<AllowDirective> = Vec::new();
     for c in comments {
         let Some(rest) = c.text.trim_start().strip_prefix("nmt-lint:") else {
+            // Continuation line? Must directly follow an open directive
+            // and be indented like wrapped prose.
+            if let Some(last) = out.last_mut() {
+                let continues = c.line == last.end_line + 1
+                    && c.text.starts_with("  ")
+                    && !c.text.trim().is_empty();
+                if continues {
+                    if !last.reason.is_empty() {
+                        last.reason.push(' ');
+                    }
+                    last.reason.push_str(c.text.trim());
+                    last.end_line = c.line;
+                }
+            }
             continue;
         };
         let malformed = AllowDirective {
             line: c.line,
+            end_line: c.line,
+            kind: DirectiveKind::Allow,
             rule: String::new(),
             reason: String::new(),
         };
-        let Some(body) = rest.trim_start().strip_prefix("allow(") else {
+        let rest = rest.trim_start();
+        let (kind, body) = if let Some(b) = rest.strip_prefix("allow(") {
+            (DirectiveKind::Allow, b)
+        } else if let Some(b) = rest.strip_prefix("sanitize(") {
+            (DirectiveKind::Sanitize, b)
+        } else {
             // `nmt-lint:` with anything else is a malformed directive;
             // surface it as an empty-rule allow so `bad-allow` fires.
             out.push(malformed);
@@ -188,6 +232,8 @@ pub fn allow_directives(comments: &[Comment]) -> Vec<AllowDirective> {
             .to_string();
         out.push(AllowDirective {
             line: c.line,
+            end_line: c.line,
+            kind,
             rule: rule.trim().to_string(),
             reason,
         });
@@ -302,5 +348,43 @@ mod tests {
         let d = allow_directives(&lexed.comments);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "");
+    }
+
+    #[test]
+    fn split_reason_continues_on_indented_comment_lines() {
+        let lexed = lex(
+            "// nmt-lint: allow(panic) — the input is validated two\n\
+             //   frames up, so the unwrap cannot fire; splitting the\n\
+             //   justification keeps lines under the width limit\n\
+             x.unwrap();\n",
+        );
+        let d = allow_directives(&lexed.comments);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].end_line, 3);
+        assert!(d[0].reason.starts_with("the input is validated"));
+        assert!(d[0].reason.ends_with("width limit"));
+    }
+
+    #[test]
+    fn unindented_comment_does_not_continue_a_directive() {
+        let lexed = lex(
+            "// nmt-lint: allow(panic) — checked\n\
+             // an ordinary comment, not a continuation\n",
+        );
+        let d = allow_directives(&lexed.comments);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].end_line, 1);
+        assert_eq!(d[0].reason, "checked");
+    }
+
+    #[test]
+    fn sanitize_directives_are_parsed() {
+        let lexed = lex("// nmt-lint: sanitize(determinism-flow) — output is sorted\n");
+        let d = allow_directives(&lexed.comments);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DirectiveKind::Sanitize);
+        assert_eq!(d[0].rule, "determinism-flow");
+        assert_eq!(d[0].reason, "output is sorted");
     }
 }

@@ -1,0 +1,320 @@
+//! Item-level parsing on top of the lexer: find every `fn` item, its
+//! qualified name, visibility, and body token range.
+//!
+//! This is the structural layer the dataflow passes ([`crate::callgraph`],
+//! [`crate::taint`]) build on. It is *not* a grammar-complete parser —
+//! there is no `syn` in the offline dependency set — but a single linear
+//! walk that tracks brace scopes well enough to answer three questions
+//! per function: what is it called (including the `impl` type for
+//! methods), where does its body start and end in the token stream, and
+//! is it test code.
+//!
+//! Known approximations, shared with the taint pass's documentation in
+//! DESIGN.md §6i:
+//!
+//! * impl headers with exotic const-generic blocks (`impl Foo where
+//!   [(); N]: Sized`) may mis-resolve the subject type;
+//! * module paths are not tracked — two `fn helper` items in different
+//!   inline modules of one file collide by name (an over-approximation:
+//!   the call graph gains edges, never loses them).
+
+use crate::context::contexts;
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item found in a file's token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name (`record`, `take`, ...).
+    pub name: String,
+    /// Qualified name: `Type::name` for methods in an `impl`/`trait`
+    /// block, otherwise just `name`.
+    pub qual: String,
+    /// The `impl`/`trait` subject type, when this is a method.
+    pub impl_type: Option<String>,
+    /// Plain `pub` (the restricted forms count as private here).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` scope.
+    pub in_test: bool,
+    /// Token-index range of the signature: `[fn_kw, body_open)` (or up
+    /// to the terminating `;` for bodyless declarations).
+    pub sig: (usize, usize),
+    /// Token-index range of the body, *exclusive* of the braces.
+    /// `None` for trait-method declarations and other bodyless items.
+    pub body: Option<(usize, usize)>,
+}
+
+/// What kind of scope a `{` opened, for the owner stack.
+#[derive(Debug, Clone)]
+enum Owner {
+    /// An `impl Type` / `trait Name` block: methods inside get
+    /// `Type::`-qualified names.
+    Impl(String),
+    /// Anything else (fn body, mod, struct, match, plain block).
+    Other,
+}
+
+const FN_MODIFIERS: &[&str] = &["const", "unsafe", "extern", "async", "default"];
+
+/// Was the `fn` at token index `i` declared plain-`pub`?
+fn fn_is_pub(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Ident if FN_MODIFIERS.contains(&t.text.as_str()) => continue,
+            // `extern "C"` ABI string.
+            TokenKind::Str => continue,
+            TokenKind::Punct if t.is_punct(')') => {
+                // Walk back over a `( ... )` group; if it belongs to a
+                // `pub(...)` restriction, the fn is not plain-pub.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if tokens[j].is_punct(')') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('(') {
+                        depth -= 1;
+                    }
+                }
+                return false;
+            }
+            TokenKind::Ident if t.text == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Scan an `impl`/`trait` header starting after the keyword at `i`;
+/// return the subject type's last path segment. For `impl Trait for
+/// Type` the subject is `Type`.
+fn impl_subject(tokens: &[Token], i: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut subject: Option<String> = None;
+    let mut after_for = false;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        match t.kind {
+            TokenKind::Punct if t.is_punct('<') => angle += 1,
+            TokenKind::Punct if t.is_punct('>') => angle -= 1,
+            TokenKind::Ident if angle == 0 => match t.text.as_str() {
+                "where" => break,
+                "for" => {
+                    after_for = true;
+                    subject = None;
+                }
+                "dyn" | "unsafe" | "const" | "impl" => {}
+                _ => {
+                    // Keep overwriting: the last segment of the path
+                    // before `<`/`{`/`where` is the type name.
+                    let _ = after_for;
+                    subject = Some(t.text.clone());
+                }
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    subject
+}
+
+/// Parse every `fn` item out of a token stream.
+pub fn parse_fns(tokens: &[Token]) -> Vec<FnItem> {
+    let ctxs = contexts(tokens);
+    let mut out = Vec::new();
+    let mut stack: Vec<Owner> = Vec::new();
+    let mut pending: Option<Owner> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_ident("impl") {
+            pending = Some(match impl_subject(tokens, i) {
+                Some(ty) => Owner::Impl(ty),
+                None => Owner::Other,
+            });
+        } else if tok.is_ident("trait") {
+            // `trait Name: Bounds {` — the subject is the first ident,
+            // not the last (bounds follow the colon).
+            pending = Some(match tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                Some(t) => Owner::Impl(t.text.clone()),
+                None => Owner::Other,
+            });
+        } else if tok.is_ident("fn") {
+            let name = tokens
+                .get(i + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+            if let Some(name) = name {
+                let impl_type = match stack.last() {
+                    Some(Owner::Impl(ty)) => Some(ty.clone()),
+                    _ => None,
+                };
+                let qual = match &impl_type {
+                    Some(ty) => format!("{ty}::{name}"),
+                    None => name.clone(),
+                };
+                // Scan forward for the body-open `{` (or `;`) at
+                // paren/bracket depth zero.
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut j = i + 1;
+                let mut sig_end = tokens.len();
+                let mut body: Option<(usize, usize)> = None;
+                while j < tokens.len() {
+                    let t = &tokens[j];
+                    if t.is_punct('(') {
+                        paren += 1;
+                    } else if t.is_punct(')') {
+                        paren -= 1;
+                    } else if t.is_punct('[') {
+                        bracket += 1;
+                    } else if t.is_punct(']') {
+                        bracket -= 1;
+                    } else if paren == 0 && bracket == 0 {
+                        if t.is_punct(';') {
+                            sig_end = j;
+                            break;
+                        }
+                        if t.is_punct('{') {
+                            sig_end = j;
+                            let mut depth = 1usize;
+                            let mut k = j + 1;
+                            while k < tokens.len() && depth > 0 {
+                                if tokens[k].is_punct('{') {
+                                    depth += 1;
+                                } else if tokens[k].is_punct('}') {
+                                    depth -= 1;
+                                }
+                                k += 1;
+                            }
+                            body = Some((j + 1, k.saturating_sub(1)));
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                out.push(FnItem {
+                    is_pub: fn_is_pub(tokens, i),
+                    in_test: ctxs.get(i).map(|c| c.in_test).unwrap_or(false),
+                    line: tok.line,
+                    name,
+                    qual,
+                    impl_type,
+                    sig: (i, sig_end),
+                    body,
+                });
+                // The walk continues *into* the body so nested fns are
+                // still found; the owner stack handles the braces.
+            }
+            pending = Some(Owner::Other);
+        } else if tok.is_punct('{') {
+            stack.push(pending.take().unwrap_or(Owner::Other));
+        } else if tok.is_punct('}') {
+            stack.pop();
+            pending = None;
+        } else if tok.is_punct(';') {
+            pending = None;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_fns(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let got = fns(
+            "pub fn free() {}\n\
+             struct S;\n\
+             impl S { pub fn method(&self) {} fn helper() {} }\n\
+             impl std::fmt::Display for S {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { todo!() }\n\
+             }\n",
+        );
+        let quals: Vec<&str> = got.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["free", "S::method", "S::helper", "S::fmt"]);
+        assert!(got[0].is_pub && got[1].is_pub && !got[2].is_pub);
+        assert_eq!(got[1].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_subject() {
+        let got = fns("impl<T: Clone> Pool<T> where T: Send { fn take(&self) {} }");
+        assert_eq!(got[0].qual, "Pool::take");
+    }
+
+    #[test]
+    fn bodies_span_the_brace_group() {
+        let src = "fn f(x: u8) -> u8 { if x > 0 { g(x) } else { 0 } }";
+        let got = fns(src);
+        assert_eq!(got.len(), 1);
+        let toks = lex(src).tokens;
+        let (s, e) = got[0].body.expect("has a body");
+        // The body range covers everything between the outer braces.
+        assert!(toks[s..e].iter().any(|t| t.is_ident("g")));
+        assert!(toks[s..e].iter().any(|t| t.is_ident("else")));
+        assert_eq!(toks[e].text, "}");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body() {
+        let got = fns("trait T { fn required(&self); fn provided(&self) { helper() } }");
+        assert_eq!(got.len(), 2);
+        assert!(got[0].body.is_none());
+        assert!(got[1].body.is_some());
+        assert_eq!(got[0].qual, "T::required");
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_not_method_qualified() {
+        let got = fns("impl S { fn outer(&self) { fn inner() {} } }");
+        let quals: Vec<&str> = got.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["S::outer", "inner"]);
+    }
+
+    #[test]
+    fn visibility_modifiers_are_seen_through() {
+        let got = fns(
+            "pub const unsafe fn a() {}\n\
+             pub(crate) fn b() {}\n\
+             pub extern \"C\" fn c() {}\n\
+             fn d() {}\n",
+        );
+        let vis: Vec<bool> = got.iter().map(|f| f.is_pub).collect();
+        assert_eq!(vis, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn test_scope_is_tracked() {
+        let got = fns("#[cfg(test)] mod t { fn case() {} } fn live() {}");
+        assert!(got[0].in_test);
+        assert!(!got[1].in_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_in_signatures_do_not_confuse_body_detection() {
+        let got = fns("fn apply(f: fn(u8) -> u8, x: u8) -> u8 { f(x) }");
+        // `fn(u8) -> u8` inside the parameter list is a type, not an
+        // item; it has no name token after it that parses as an item,
+        // but the *outer* fn must still resolve its body.
+        assert_eq!(got.iter().filter(|f| f.name == "apply").count(), 1);
+        let apply = got.iter().find(|f| f.name == "apply").unwrap();
+        assert!(apply.body.is_some());
+    }
+}

@@ -5,8 +5,8 @@
 //! while staying dependency-free. Each rule is documented in DESIGN.md
 //! ("Invariants & static analysis"); keep the two in sync.
 
-use crate::context::{allow_directives, contexts, AllowDirective, TokenCtx};
-use crate::lexer::{lex, Token, TokenKind};
+use crate::context::{allow_directives, contexts, AllowDirective, DirectiveKind, TokenCtx};
+use crate::lexer::{lex, Comment, Token, TokenKind};
 use crate::report::{Diagnostic, Severity};
 
 /// How a file is classified for rule scoping.
@@ -25,6 +25,28 @@ pub struct FileClass {
     /// the `hot-alloc` rule bans per-call `Vec::new`/`vec![]` in favor of
     /// the `nmt_engine::mem` pools.
     pub hot_path: bool,
+    /// Cross-thread coordination module: the `atomic-ordering` rule
+    /// requires a `// ordering:` justification on every atomic op.
+    pub concurrency_scoped: bool,
+}
+
+/// Which analysis pass produces a rule's diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RulePass {
+    /// The per-file token/context pass (`cargo xtask lint`).
+    Token,
+    /// The call-graph dataflow pass (`cargo xtask analyze`).
+    Dataflow,
+}
+
+impl RulePass {
+    /// Lowercase label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RulePass::Token => "token",
+            RulePass::Dataflow => "dataflow",
+        }
+    }
 }
 
 /// Static description of one rule.
@@ -32,54 +54,108 @@ pub struct FileClass {
 pub struct RuleInfo {
     /// Rule name as used in diagnostics and allow comments.
     pub name: &'static str,
+    /// Which pass emits it.
+    pub pass: RulePass,
+    /// Default severity, as prose (`slice-index` escalates by scope).
+    pub severity: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
     /// One-line rationale.
     pub rationale: &'static str,
 }
 
-/// Every rule the pass knows about, in reporting order.
+/// Every rule the passes know about, in reporting order. This table is
+/// the single source of truth: the DESIGN.md §6d catalogue is generated
+/// from it (`cargo xtask lint --rules-md`) and a drift test keeps the
+/// committed copy in sync.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "unordered-map",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "all library sources",
         rationale: "HashMap/HashSet iteration order is seed-randomized; \
                     serialized artifacts must be byte-identical, use BTreeMap/BTreeSet",
     },
     RuleInfo {
         name: "wallclock",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "all except sanctioned clock readers",
         rationale: "Instant/SystemTime readings differ per run; only obs spans \
                     may observe wall-clock time",
     },
     RuleInfo {
         name: "thread-order",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "determinism-scoped modules",
         rationale: "atomic read-modify-write and channel drains commit results in \
                     scheduling order; reductions on serialized paths must be index-ordered",
     },
     RuleInfo {
         name: "panic",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "plain-pub fns, lib crates",
         rationale: "pub APIs on the sweep path return typed errors instead of \
                     panicking (unwrap/expect/panic!/unreachable!/todo!)",
     },
     RuleInfo {
         name: "slice-index",
+        pass: RulePass::Token,
+        severity: "warning (error when determinism-scoped)",
+        scope: "plain-pub fns, lib crates",
         rationale: "direct indexing can panic; prefer get()/iterators in pub APIs \
                     (error-level on determinism-scoped modules)",
     },
     RuleInfo {
         name: "hot-alloc",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "allocation-hot-path modules",
         rationale: "hot-path modules must draw buffers from the `nmt_engine::mem` \
                     pools; a per-call `Vec::new`/`vec![]` reintroduces the per-strip \
                     allocation churn the pools exist to remove",
     },
     RuleInfo {
         name: "metric-name",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "all library sources",
         rationale: "obs metric names must be lowercase dotted `crate.subsystem.name` \
                     so the Prometheus export stays stable",
     },
     RuleInfo {
+        name: "atomic-ordering",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "concurrency-scoped modules",
+        rationale: "every atomic op must justify its memory ordering with a \
+                    `// ordering:` comment; `Relaxed` is reserved for monotone \
+                    counters whose value never gates cross-thread data visibility",
+    },
+    RuleInfo {
+        name: "determinism-flow",
+        pass: RulePass::Dataflow,
+        severity: "error",
+        scope: "library sources (cargo xtask analyze)",
+        rationale: "a nondeterminism source (wall clock, thread id, unordered \
+                    iteration, observed atomic RMW, env read, parallel reduction) \
+                    must not reach a serialization sink; sanitize or justify",
+    },
+    RuleInfo {
         name: "bad-allow",
+        pass: RulePass::Token,
+        severity: "error",
+        scope: "allow-comment hygiene",
         rationale: "nmt-lint allow comments must name a known rule and give a reason",
     },
     RuleInfo {
         name: "unused-allow",
+        pass: RulePass::Token,
+        severity: "warning",
+        scope: "allow-comment hygiene",
         rationale: "an allow comment that suppresses nothing is stale and should be removed",
     },
 ];
@@ -87,6 +163,25 @@ pub const RULES: &[RuleInfo] = &[
 /// Look up a rule by name.
 pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.name == name)
+}
+
+/// Render the rule catalogue as the markdown table embedded in
+/// DESIGN.md §6d (between the `nmt-lint:rules-table` markers).
+pub fn rules_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("| rule | pass | severity | scope | rationale |\n");
+    out.push_str("|------|------|----------|-------|-----------|\n");
+    for r in RULES {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            r.name,
+            r.pass.label(),
+            r.severity,
+            r.scope,
+            r.rationale
+        ));
+    }
+    out
 }
 
 /// Keywords that can directly precede `[` without forming an index
@@ -99,6 +194,20 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const METRIC_METHODS: &[&str] = &["counter_add", "gauge_set", "histogram_record"];
+
+/// Atomic operations that take a `Ordering` argument. `fetch_*` is
+/// matched by prefix.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_update",
+];
+
+const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Is `name` a valid dotted metric name: `[a-z][a-z0-9_]*(\.[a-z0-9_]+)+`
 /// with at least two segments, each starting with a letter?
@@ -116,6 +225,7 @@ struct FileCheck<'a> {
     path: &'a str,
     tokens: &'a [Token],
     ctxs: &'a [TokenCtx],
+    comments: &'a [Comment],
     lines: Vec<&'a str>,
     class: FileClass,
     diags: Vec<Diagnostic>,
@@ -270,6 +380,18 @@ impl FileCheck<'_> {
             }
         }
 
+        // atomic-ordering: every atomic op in a concurrency-scoped file
+        // must justify its memory ordering in a `// ordering:` comment.
+        if self.class.concurrency_scoped && prev_dot && next_paren {
+            let is_atomic = ATOMIC_METHODS.contains(&tok.text.as_str())
+                || tok.text.starts_with("fetch_");
+            if is_atomic {
+                if let Some(orderings) = self.call_orderings(i) {
+                    self.check_atomic_ordering(tok, &orderings);
+                }
+            }
+        }
+
         // metric-name: literal names handed to the obs registry.
         if METRIC_METHODS.contains(&tok.text.as_str()) && prev_dot && next_paren {
             if let Some(arg) = self.tok(i + 2) {
@@ -287,6 +409,116 @@ impl FileCheck<'_> {
                     );
                 }
             }
+        }
+    }
+
+    /// For the method call at ident `i`, scan its balanced argument list
+    /// for `Ordering` variants. Returns `None` when no variant appears —
+    /// the callee is then a same-named non-atomic method (`map.load(..)`,
+    /// `serde` `serialize`-adjacent `store(..)`, `cmp::Ordering` uses)
+    /// and the rule stays silent.
+    fn call_orderings(&self, i: usize) -> Option<Vec<String>> {
+        let mut depth = 0i32;
+        let mut found = Vec::new();
+        for t in self.tokens.iter().skip(i + 1) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident && ORDERING_VARIANTS.contains(&t.text.as_str())
+            {
+                found.push(t.text.clone());
+            }
+        }
+        (!found.is_empty()).then_some(found)
+    }
+
+    /// Find the `// ordering:` justification for an atomic op on `line`:
+    /// a trailing comment on the op's own line, or an `ordering:` opener
+    /// anywhere in the contiguous comment block directly above it (so
+    /// multi-line justifications work), with the block's following lines
+    /// appended as continuation text.
+    fn ordering_justification(&self, line: u32) -> Option<String> {
+        let text_at = |l: u32| {
+            self.comments
+                .iter()
+                .find(|c| c.line == l)
+                .map(|c| c.text.trim().to_string())
+        };
+        if let Some(t) = text_at(line) {
+            if let Some(rest) = t.strip_prefix("ordering:") {
+                return Some(rest.trim().to_string());
+            }
+        }
+        // Collect the contiguous comment block ending on `line - 1`.
+        let mut block = Vec::new();
+        let mut l = line.checked_sub(1)?;
+        while let Some(t) = text_at(l) {
+            block.push(t);
+            match l.checked_sub(1) {
+                Some(prev) => l = prev,
+                None => break,
+            }
+        }
+        block.reverse(); // top-to-bottom order
+        let opener = block
+            .iter()
+            .rposition(|t| t.starts_with("ordering:"))?;
+        let mut reason = block[opener]
+            .strip_prefix("ordering:")
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        for cont in &block[opener + 1..] {
+            if !reason.is_empty() {
+                reason.push(' ');
+            }
+            reason.push_str(cont);
+        }
+        Some(reason)
+    }
+
+    fn check_atomic_ordering(&mut self, tok: &Token, orderings: &[String]) {
+        let justification = self.ordering_justification(tok.line);
+        let relaxed = orderings.iter().any(|o| o == "Relaxed");
+        match justification {
+            None => self.emit(
+                "atomic-ordering",
+                Severity::Error,
+                tok,
+                format!(
+                    "atomic `{}` with `{}` has no `// ordering:` justification; \
+                     state why this memory ordering is sufficient",
+                    tok.text,
+                    orderings.join("`/`")
+                ),
+            ),
+            Some(reason) if reason.is_empty() => self.emit(
+                "atomic-ordering",
+                Severity::Error,
+                tok,
+                format!(
+                    "empty `// ordering:` justification on atomic `{}`",
+                    tok.text
+                ),
+            ),
+            Some(reason) if relaxed && !reason.to_ascii_lowercase().contains("monotone") => {
+                self.emit(
+                    "atomic-ordering",
+                    Severity::Error,
+                    tok,
+                    format!(
+                        "`Relaxed` on atomic `{}` is reserved for monotone counters; \
+                         say \"monotone\" in the ordering comment or use an \
+                         acquire/release ordering",
+                        tok.text
+                    ),
+                )
+            }
+            Some(_) => {}
         }
     }
 
@@ -337,6 +569,7 @@ pub fn check_source(
         path,
         tokens: &lexed.tokens,
         ctxs: &ctxs,
+        comments: &lexed.comments,
         lines: src.lines().collect(),
         class,
         diags: Vec::new(),
@@ -346,16 +579,18 @@ pub fn check_source(
     }
     let mut diags = std::mem::take(&mut fc.diags);
 
-    // Apply allow directives: a directive on line L suppresses matching
-    // diagnostics on line L (trailing comment) or line L + 1 (comment on
-    // its own line above the code).
+    // Apply allow directives: a directive spanning lines L..=E (the
+    // reason may continue across indented comment lines) suppresses
+    // matching diagnostics on any of those lines (trailing comment) or
+    // on E + 1 (comment block on its own lines above the code).
     let directives = allow_directives(&lexed.comments);
     let mut used = vec![false; directives.len()];
     diags.retain(|d| {
         for (dir, used_flag) in directives.iter().zip(used.iter_mut()) {
-            if dir.rule == d.rule
+            if dir.kind == DirectiveKind::Allow
+                && dir.rule == d.rule
                 && !dir.reason.is_empty()
-                && (dir.line == d.line || dir.line + 1 == d.line)
+                && (dir.line..=dir.end_line + 1).contains(&d.line)
             {
                 *used_flag = true;
                 return false;
@@ -374,7 +609,8 @@ pub fn check_source(
     };
     let mut used_dirs = Vec::new();
     for (dir, &was_used) in directives.iter().zip(used.iter()) {
-        if rule_info(&dir.rule).is_none() {
+        let info = rule_info(&dir.rule);
+        if info.is_none() {
             diags.push(Diagnostic {
                 rule: "bad-allow".to_string(),
                 severity: Severity::Error,
@@ -382,13 +618,33 @@ pub fn check_source(
                 line: dir.line,
                 col: 1,
                 message: format!(
-                    "allow comment names unknown rule `{}` (known: {})",
+                    "{} comment names unknown rule `{}` (known: {})",
+                    match dir.kind {
+                        DirectiveKind::Allow => "allow",
+                        DirectiveKind::Sanitize => "sanitize",
+                    },
                     dir.rule,
                     RULES
                         .iter()
                         .map(|r| r.name)
                         .collect::<Vec<_>>()
                         .join(", ")
+                ),
+                snippet: snippet_of(dir.line),
+            });
+        } else if dir.kind == DirectiveKind::Sanitize
+            && info.is_some_and(|r| r.pass != RulePass::Dataflow)
+        {
+            diags.push(Diagnostic {
+                rule: "bad-allow".to_string(),
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: dir.line,
+                col: 1,
+                message: format!(
+                    "`sanitize({})` is invalid: sanitize comments only apply to \
+                     dataflow rules (use `allow({})` instead)",
+                    dir.rule, dir.rule
                 ),
                 snippet: snippet_of(dir.line),
             });
@@ -407,18 +663,25 @@ pub fn check_source(
                 snippet: snippet_of(dir.line),
             });
         } else if !was_used {
-            diags.push(Diagnostic {
-                rule: "unused-allow".to_string(),
-                severity: Severity::Warning,
-                path: path.to_string(),
-                line: dir.line,
-                col: 1,
-                message: format!(
-                    "allow comment for `{}` suppresses nothing here; remove it",
-                    dir.rule
-                ),
-                snippet: snippet_of(dir.line),
-            });
+            // Directives consumed by the dataflow pass (`cargo xtask
+            // analyze`) are invisible to this token pass; analyze does
+            // its own staleness accounting for them.
+            let dataflow_owned = dir.kind == DirectiveKind::Sanitize
+                || info.is_some_and(|r| r.pass == RulePass::Dataflow);
+            if !dataflow_owned {
+                diags.push(Diagnostic {
+                    rule: "unused-allow".to_string(),
+                    severity: Severity::Warning,
+                    path: path.to_string(),
+                    line: dir.line,
+                    col: 1,
+                    message: format!(
+                        "allow comment for `{}` suppresses nothing here; remove it",
+                        dir.rule
+                    ),
+                    snippet: snippet_of(dir.line),
+                });
+            }
         } else {
             used_dirs.push(dir.clone());
         }
@@ -604,6 +867,118 @@ mod tests {
     fn unknown_rule_allow_is_bad() {
         let got = errs("// nmt-lint: allow(no-such-rule) — because\n");
         assert_eq!(got, vec![("bad-allow".to_string(), 1)]);
+    }
+
+    fn conc_errs(src: &str) -> Vec<(String, u32)> {
+        let (diags, _) = check_source(
+            "conc.rs",
+            src,
+            FileClass {
+                concurrency_scoped: true,
+                ..FileClass::default()
+            },
+        );
+        diags.into_iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    #[test]
+    fn atomic_ops_require_ordering_comments() {
+        assert_eq!(
+            conc_errs("fn f(x: &AtomicU64) { x.load(Ordering::Acquire); }"),
+            vec![("atomic-ordering".to_string(), 1)]
+        );
+        assert!(conc_errs(
+            "fn f(x: &AtomicU64) {\n\
+             \x20   // ordering: pairs with the Release store in put()\n\
+             \x20   x.load(Ordering::Acquire);\n\
+             }"
+        )
+        .is_empty());
+        // Trailing same-line comments work too.
+        assert!(conc_errs(
+            "fn f(x: &AtomicU64) { x.store(1, Ordering::Release); // ordering: publishes the buffer\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_a_monotone_justification() {
+        let src = "fn f(x: &AtomicU64) {\n\
+                   \x20   // ordering: just a counter\n\
+                   \x20   x.fetch_add(1, Ordering::Relaxed);\n\
+                   }";
+        assert_eq!(conc_errs(src), vec![("atomic-ordering".to_string(), 3)]);
+        let ok = "fn f(x: &AtomicU64) {\n\
+                  \x20   // ordering: monotone event counter, value never gates visibility\n\
+                  \x20   x.fetch_add(1, Ordering::Relaxed);\n\
+                  }";
+        assert!(conc_errs(ok).is_empty());
+    }
+
+    #[test]
+    fn non_atomic_same_named_methods_are_ignored() {
+        // `cmp::Ordering` and a `load` without an Ordering argument must
+        // not trip the rule.
+        assert!(conc_errs("fn f(a: u8, b: u8) { a.cmp(&b); }").is_empty());
+        assert!(conc_errs("fn f(m: &Loader) { m.load(\"path\"); }").is_empty());
+        assert!(conc_errs("fn f(x: Ordering) { take(Ordering::Equal); }").is_empty());
+    }
+
+    #[test]
+    fn atomic_rule_is_scope_gated() {
+        let src = "fn f(x: &AtomicU64) { x.load(Ordering::Acquire); }";
+        assert!(errs(src).is_empty(), "off-scope files are exempt");
+    }
+
+    #[test]
+    fn split_allow_comment_suppresses_code_below_the_block() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+                   \x20   // nmt-lint: allow(panic) — the caller pre-validates this\n\
+                   \x20   //   input, so the unwrap cannot fire in practice\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+        let (diags, used) = check_source(
+            "t.rs",
+            src,
+            FileClass {
+                panic_checked: true,
+                ..FileClass::default()
+            },
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(used.len(), 1);
+        assert!(used[0].reason.contains("cannot fire"));
+    }
+
+    #[test]
+    fn sanitize_of_token_rule_is_bad_allow() {
+        let got = errs("// nmt-lint: sanitize(panic) — nope\n");
+        assert_eq!(got, vec![("bad-allow".to_string(), 1)]);
+    }
+
+    #[test]
+    fn dataflow_allows_are_not_flagged_unused_by_the_token_pass() {
+        let (diags, _) = check_source(
+            "t.rs",
+            "// nmt-lint: allow(determinism-flow) — timing header is a measurement\n\
+             pub fn emit() {}\n\
+             // nmt-lint: sanitize(determinism-flow) — sorted output\n\
+             pub fn normalize() {}\n",
+            FileClass {
+                panic_checked: true,
+                ..FileClass::default()
+            },
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn rules_markdown_lists_every_rule() {
+        let md = rules_markdown();
+        for r in RULES {
+            assert!(md.contains(&format!("| `{}` |", r.name)), "{} missing", r.name);
+        }
+        assert!(md.starts_with("| rule | pass | severity | scope | rationale |"));
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! Source→sink determinism taint analysis over the intra-crate call
+//! graph.
+//!
+//! A function is *tainted* when it can observe a nondeterministic value:
+//! wall-clock reads, thread identity, `HashMap`/`HashSet` iteration,
+//! the return value of an atomic `fetch_*`, environment variables, or
+//! parallel-iterator reductions (the proxy for float reduction over a
+//! nondeterministic order). Taint propagates from callee to caller along
+//! the call graph. A *sink* is a serialization or output-writing call;
+//! a sink inside a tainted function is a `determinism-flow` finding,
+//! reported with the full call path back to the original source.
+//!
+//! Two escape hatches, both mandatory-reason and counted in the report:
+//!
+//! * `// nmt-lint: allow(determinism-flow) — <why>` on/above the sink
+//!   line suppresses one finding;
+//! * `// nmt-lint: sanitize(determinism-flow) — <why>` above a `fn`
+//!   declares that the function erases the nondeterminism it observes
+//!   (e.g. a content-ordered sort), stopping propagation through it.
+//!
+//! Approximations are deliberate and one-sided where possible (see
+//! DESIGN.md §6i): method calls resolve to every same-named local
+//! method (over-approximate, may report spurious chains), while values
+//! flowing through fields, returns or channels without a call edge are
+//! not tracked (under-approximate, may miss flows — the token-level
+//! rules `thread-order`/`wallclock`/`unordered-map` backstop those).
+
+use crate::callgraph::{self, call_sites, CallSite, FnId};
+use crate::context::{allow_directives, AllowDirective, DirectiveKind};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::parse::{parse_fns, FnItem};
+use crate::report::{Diagnostic, Report, Severity, SuppressionRecord};
+use crate::rules::FileClass;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Report schema version for the analyze JSON artifact.
+pub const ANALYZE_SCHEMA_VERSION: u32 = 1;
+
+/// One file handed to the analyzer.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path (used in diagnostics).
+    pub rel: String,
+    /// Full source text.
+    pub src: String,
+    /// Rule-scoping classification (binaries are exempt from sinks).
+    pub class: FileClass,
+}
+
+/// A directly-observed nondeterminism source inside a function body.
+#[derive(Debug, Clone)]
+pub struct TaintSource {
+    /// Source kind: `wallclock`, `thread-id`, `unordered-iter`,
+    /// `atomic-rmw`, `env-read`, `parallel-iter`.
+    pub kind: &'static str,
+    /// 1-based line of the observing token.
+    pub line: u32,
+    /// The observing expression's head token text (`Instant`,
+    /// `fetch_add`, ...).
+    pub what: String,
+}
+
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Serialization / output-writing functions and methods.
+const SINK_FNS: &[&str] = &[
+    "serialize",
+    "to_json",
+    "to_value",
+    "to_writer",
+    "to_string_pretty",
+    "write",
+    "write_all",
+    "write_fmt",
+    "write_str",
+];
+
+/// Output-writing macros. `eprint!`/`eprintln!` are deliberately absent:
+/// stderr is human diagnostics, never a determinism artifact.
+const SINK_MACROS: &[&str] = &["write", "writeln", "print", "println"];
+
+/// Scan a body token range for direct nondeterminism sources.
+pub fn scan_sources(tokens: &[Token], range: (usize, usize)) -> Vec<TaintSource> {
+    let (start, end) = range;
+    let end = end.min(tokens.len());
+    let mut out = Vec::new();
+    let mut push = |kind: &'static str, t: &Token| {
+        out.push(TaintSource {
+            kind,
+            line: t.line,
+            what: t.text.clone(),
+        })
+    };
+    for i in start..end {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i > start && tokens[i - 1].is_punct('.');
+        let next_paren = tokens.get(i + 1).map(|n| n.is_punct('(')) == Some(true);
+        match t.text.as_str() {
+            "Instant" | "SystemTime" => push("wallclock", t),
+            "elapsed" if prev_dot && next_paren => push("wallclock", t),
+            "HashMap" | "HashSet" => push("unordered-iter", t),
+            "ThreadId" => push("thread-id", t),
+            "thread"
+                if tokens.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
+                    && tokens.get(i + 2).map(|n| n.is_punct(':')) == Some(true)
+                    && tokens.get(i + 3).map(|n| n.is_ident("current")) == Some(true) =>
+            {
+                push("thread-id", t)
+            }
+            "env"
+                if tokens.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
+                    && tokens.get(i + 2).map(|n| n.is_punct(':')) == Some(true)
+                    && tokens
+                        .get(i + 3)
+                        .map(|n| {
+                            n.kind == TokenKind::Ident
+                                && ENV_READERS.contains(&n.text.as_str())
+                        })
+                        == Some(true) =>
+            {
+                push("env-read", t)
+            }
+            name if name.starts_with("fetch_") && prev_dot && next_paren => {
+                if rmw_result_used(tokens, start, i) {
+                    push("atomic-rmw", t);
+                }
+            }
+            name if name.starts_with("par_") && prev_dot && next_paren => {
+                push("parallel-iter", t)
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Is the return value of the `fetch_*` call at token `i` consumed?
+/// A statement-position call whose value is dropped (`x.fetch_add(n, O);`)
+/// is a plain counter bump, not a nondeterminism observation.
+fn rmw_result_used(tokens: &[Token], body_start: usize, i: usize) -> bool {
+    // Token after the call's closing paren.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].is_punct('(') {
+            depth += 1;
+        } else if tokens[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let followed_by_semi = tokens.get(j + 1).map(|t| t.is_punct(';')) == Some(true);
+    if !followed_by_semi {
+        return true;
+    }
+    // Walk back over the receiver chain to the statement's first token.
+    let stop_keywords = ["let", "return", "break", "yield", "match", "if", "while", "in"];
+    let mut k = i.saturating_sub(1); // the `.`
+    while k > body_start {
+        let t = &tokens[k - 1];
+        let chain = match t.kind {
+            TokenKind::Ident => !stop_keywords.contains(&t.text.as_str()),
+            TokenKind::Punct => {
+                if t.is_punct(')') || t.is_punct(']') {
+                    // Skip the balanced group.
+                    let close = if t.is_punct(')') { ')' } else { ']' };
+                    let open = if close == ')' { '(' } else { '[' };
+                    let mut d = 1i32;
+                    let mut m = k - 1;
+                    while m > body_start && d > 0 {
+                        m -= 1;
+                        if tokens[m].is_punct(close) {
+                            d += 1;
+                        } else if tokens[m].is_punct(open) {
+                            d -= 1;
+                        }
+                    }
+                    k = m;
+                    continue;
+                }
+                t.is_punct('.') || t.is_punct(':')
+            }
+            _ => false,
+        };
+        if !chain {
+            break;
+        }
+        k -= 1;
+    }
+    // Statement position (`;`/`{`/`}` or body start before the chain)
+    // plus a dropped result: the value is unused.
+    let statement_position = if k > body_start {
+        let t = &tokens[k - 1];
+        t.is_punct(';') || t.is_punct('{') || t.is_punct('}')
+    } else {
+        true
+    };
+    !statement_position
+}
+
+/// One serialization sink call site.
+#[derive(Debug, Clone)]
+pub struct SinkSite {
+    /// Sink name (`write_all`, `writeln`, ...).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Scan a body token range for serialization/output sinks.
+pub fn scan_sinks(tokens: &[Token], range: (usize, usize)) -> Vec<SinkSite> {
+    call_sites(tokens, range)
+        .into_iter()
+        .filter(|s| is_sink(s))
+        .map(|s| SinkSite {
+            name: s.callee,
+            line: s.line,
+        })
+        .collect()
+}
+
+fn is_sink(site: &CallSite) -> bool {
+    if site.is_macro {
+        return SINK_MACROS.contains(&site.callee.as_str());
+    }
+    SINK_FNS.contains(&site.callee.as_str())
+        || (site.callee == "to_string"
+            && site.path.last().is_some_and(|p| p == "serde_json"))
+}
+
+/// Per-crate call-graph and taint statistics for the JSON artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrateStats {
+    /// Crate name (directory under `crates/`, or `root`).
+    pub name: String,
+    /// Files analyzed.
+    pub files: u64,
+    /// `fn` items found.
+    pub functions: u64,
+    /// Resolved intra-crate call edges.
+    pub call_edges: u64,
+    /// Direct nondeterminism sources observed.
+    pub taint_sources: u64,
+    /// Functions tainted after propagation (sanitizers excluded).
+    pub tainted_functions: u64,
+    /// Serialization sink call sites.
+    pub sink_sites: u64,
+    /// Sanitizer annotations honored.
+    pub sanitizers: u64,
+}
+
+/// The `cargo xtask analyze` result: per-crate stats plus a standard
+/// diagnostics report (rules: `determinism-flow`, `atomic-ordering`,
+/// `unused-allow` hygiene for stale analysis-pass directives).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalyzeReport {
+    /// JSON schema version ([`ANALYZE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Per-crate call-graph statistics, sorted by crate name.
+    pub crates: Vec<CrateStats>,
+    /// Diagnostics and suppression accounting.
+    pub report: Report,
+}
+
+impl AnalyzeReport {
+    /// True when the run should fail.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.report.failed(deny_warnings)
+    }
+
+    /// Human rendering: stats table, then the diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6} {:>5}",
+            "crate", "files", "fns", "edges", "sources", "tainted", "sinks", "sani"
+        );
+        for c in &self.crates {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6} {:>5}",
+                c.name,
+                c.files,
+                c.functions,
+                c.call_edges,
+                c.taint_sources,
+                c.tainted_functions,
+                c.sink_sites,
+                c.sanitizers
+            );
+        }
+        out.push('\n');
+        out.push_str(&self.report.render());
+        out
+    }
+
+    /// Serialize as pretty JSON (the CI artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"analyze serialization failed: {e}\"}}"))
+    }
+}
+
+struct AnalyzedFile {
+    rel: String,
+    lines: Vec<String>,
+    tokens: Vec<Token>,
+    directives: Vec<AllowDirective>,
+    class: FileClass,
+}
+
+struct AFn {
+    item: FnItem,
+    file: usize,
+}
+
+/// How a function became tainted.
+#[derive(Debug, Clone)]
+enum Taint {
+    /// Observes a source directly.
+    Direct(TaintSource),
+    /// Calls a tainted function (callee id, call-site line).
+    Via(FnId, u32),
+}
+
+/// Analyze one crate's files; returns stats, surviving diagnostics and
+/// used-suppression records.
+pub fn analyze_crate(
+    name: &str,
+    files: &[FileInput],
+) -> (CrateStats, Vec<Diagnostic>, Vec<SuppressionRecord>) {
+    let analyzed: Vec<AnalyzedFile> = files
+        .iter()
+        .map(|f| {
+            let lexed = lex(&f.src);
+            AnalyzedFile {
+                rel: f.rel.clone(),
+                lines: f.src.lines().map(|l| l.to_string()).collect(),
+                directives: allow_directives(&lexed.comments),
+                tokens: lexed.tokens,
+                class: f.class,
+            }
+        })
+        .collect();
+
+    // The combined function table (file-attributed).
+    let mut afns: Vec<AFn> = Vec::new();
+    for (fi, file) in analyzed.iter().enumerate() {
+        for item in parse_fns(&file.tokens) {
+            afns.push(AFn { item, file: fi });
+        }
+    }
+    let items: Vec<FnItem> = afns.iter().map(|a| a.item.clone()).collect();
+    let (graph, _table) = callgraph::build(&items, |id| &analyzed[afns[id].file].tokens[..]);
+
+    // Sanitizer directives attach to the next `fn` within 3 lines
+    // (attributes may sit between the comment and the item).
+    let mut sanitized = vec![false; afns.len()];
+    let mut sanitizer_used = Vec::new(); // (file, directive idx)
+    for (fi, file) in analyzed.iter().enumerate() {
+        for (di, dir) in file.directives.iter().enumerate() {
+            if dir.kind != DirectiveKind::Sanitize
+                || dir.rule != "determinism-flow"
+                || dir.reason.is_empty()
+            {
+                continue;
+            }
+            let target = afns
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.file == fi && a.item.line > dir.end_line)
+                .min_by_key(|(_, a)| a.item.line);
+            if let Some((id, a)) = target {
+                if a.item.line <= dir.end_line + 3 {
+                    sanitized[id] = true;
+                    sanitizer_used.push((fi, di));
+                }
+            }
+        }
+    }
+
+    // Direct sources, then propagate callee→caller to a fixpoint.
+    let mut taint: Vec<Option<Taint>> = vec![None; afns.len()];
+    let mut source_count = 0u64;
+    let mut worklist: Vec<FnId> = Vec::new();
+    for (id, a) in afns.iter().enumerate() {
+        let Some(body) = a.item.body else { continue };
+        if a.item.in_test {
+            continue;
+        }
+        let sources = scan_sources(&analyzed[a.file].tokens, body);
+        source_count += sources.len() as u64;
+        if let Some(first) = sources.into_iter().next() {
+            taint[id] = Some(Taint::Direct(first));
+            worklist.push(id);
+        }
+    }
+    // Reverse edges for propagation.
+    let mut callers: Vec<Vec<(FnId, u32)>> = vec![Vec::new(); afns.len()];
+    for (caller, edges) in &graph.edges {
+        for (callee, line) in edges {
+            callers[*callee].push((*caller, *line));
+        }
+    }
+    let mut qi = 0usize;
+    while qi < worklist.len() {
+        let id = worklist[qi];
+        qi += 1;
+        if sanitized[id] {
+            continue; // taint stops here
+        }
+        for &(caller, line) in &callers[id] {
+            if taint[caller].is_none() && !afns[caller].item.in_test {
+                taint[caller] = Some(Taint::Via(id, line));
+                worklist.push(caller);
+            }
+        }
+    }
+
+    // Sinks inside tainted, unsanitized functions become findings.
+    let mut diagnostics = Vec::new();
+    let mut sink_count = 0u64;
+    let mut allow_used: Vec<(usize, usize)> = Vec::new(); // (file, directive idx)
+    for (id, a) in afns.iter().enumerate() {
+        let Some(body) = a.item.body else { continue };
+        let file = &analyzed[a.file];
+        if a.item.in_test || !file.class.panic_checked {
+            // Test code and binary targets may print what they like.
+            continue;
+        }
+        let sinks = scan_sinks(&file.tokens, body);
+        sink_count += sinks.len() as u64;
+        if taint[id].is_none() || sanitized[id] {
+            continue;
+        }
+        let chain = render_chain(id, &afns, &analyzed, &taint);
+        for sink in sinks {
+            // An allow(determinism-flow) on the sink line or directly
+            // above suppresses the finding (and is counted).
+            let suppressed = file.directives.iter().enumerate().find(|(_, dir)| {
+                dir.kind == DirectiveKind::Allow
+                    && dir.rule == "determinism-flow"
+                    && !dir.reason.is_empty()
+                    && (dir.line..=dir.end_line + 1).contains(&sink.line)
+            });
+            if let Some((di, _)) = suppressed {
+                allow_used.push((a.file, di));
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                rule: "determinism-flow".to_string(),
+                severity: Severity::Error,
+                path: file.rel.clone(),
+                line: sink.line,
+                col: 1,
+                message: format!(
+                    "nondeterminism can reach sink `{}` in `{}`: {chain}; make the \
+                     flow deterministic, add a sanitize comment on the laundering \
+                     fn, or justify with an allow comment",
+                    sink.name, a.item.qual
+                ),
+                snippet: file
+                    .lines
+                    .get(sink.line as usize - 1)
+                    .map(|l| l.trim_end().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    // Hygiene: stale analysis-pass directives.
+    for (fi, file) in analyzed.iter().enumerate() {
+        for (di, dir) in file.directives.iter().enumerate() {
+            if dir.rule != "determinism-flow" || dir.reason.is_empty() {
+                continue;
+            }
+            let used = match dir.kind {
+                DirectiveKind::Allow => allow_used.contains(&(fi, di)),
+                DirectiveKind::Sanitize => sanitizer_used
+                    .iter()
+                    .any(|&(sf, sd)| sf == fi && sd == di),
+            };
+            if !used {
+                diagnostics.push(Diagnostic {
+                    rule: "unused-allow".to_string(),
+                    severity: Severity::Warning,
+                    path: file.rel.clone(),
+                    line: dir.line,
+                    col: 1,
+                    message: format!(
+                        "{} comment for `determinism-flow` matches nothing here; remove it",
+                        match dir.kind {
+                            DirectiveKind::Allow => "allow",
+                            DirectiveKind::Sanitize => "sanitize",
+                        }
+                    ),
+                    snippet: file
+                        .lines
+                        .get(dir.line as usize - 1)
+                        .map(|l| l.trim_end().to_string())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+    }
+
+    let suppressions: Vec<SuppressionRecord> = allow_used
+        .iter()
+        .chain(sanitizer_used.iter())
+        .map(|&(fi, di)| {
+            let dir = &analyzed[fi].directives[di];
+            SuppressionRecord {
+                path: analyzed[fi].rel.clone(),
+                line: dir.line,
+                rule: match dir.kind {
+                    DirectiveKind::Allow => "determinism-flow".to_string(),
+                    DirectiveKind::Sanitize => "determinism-flow (sanitize)".to_string(),
+                },
+                reason: dir.reason.clone(),
+            }
+        })
+        .collect();
+
+    let stats = CrateStats {
+        name: name.to_string(),
+        files: files.len() as u64,
+        functions: afns.len() as u64,
+        call_edges: graph.edge_count as u64,
+        taint_sources: source_count,
+        tainted_functions: taint
+            .iter()
+            .zip(&sanitized)
+            .filter(|(t, s)| t.is_some() && !**s)
+            .count() as u64,
+        sink_sites: sink_count,
+        sanitizers: sanitizer_used.len() as u64,
+    };
+    (stats, diagnostics, suppressions)
+}
+
+/// Render the sink→…→source call path for a tainted function.
+fn render_chain(
+    mut id: FnId,
+    afns: &[AFn],
+    files: &[AnalyzedFile],
+    taint: &[Option<Taint>],
+) -> String {
+    let mut hops: Vec<String> = Vec::new();
+    loop {
+        let a = &afns[id];
+        match &taint[id] {
+            Some(Taint::Via(callee, line)) => {
+                hops.push(format!(
+                    "`{}` ({}:{})",
+                    a.item.qual, files[a.file].rel, line
+                ));
+                id = *callee;
+            }
+            Some(Taint::Direct(src)) => {
+                hops.push(format!(
+                    "`{}` reads {} `{}` at {}:{}",
+                    a.item.qual, src.kind, src.what, files[a.file].rel, src.line
+                ));
+                break;
+            }
+            None => break, // unreachable for tainted fns
+        }
+        if hops.len() > 16 {
+            hops.push("…".to_string());
+            break;
+        }
+    }
+    hops.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class() -> FileClass {
+        FileClass {
+            panic_checked: true,
+            ..FileClass::default()
+        }
+    }
+
+    fn run(src: &str) -> (CrateStats, Vec<Diagnostic>, Vec<SuppressionRecord>) {
+        analyze_crate(
+            "t",
+            &[FileInput {
+                rel: "t.rs".to_string(),
+                src: src.to_string(),
+                class: class(),
+            }],
+        )
+    }
+
+    #[test]
+    fn direct_flow_is_found_with_chain() {
+        let (stats, diags, _) = run(
+            "use std::time::Instant;\n\
+             fn stamp() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             pub fn emit(out: &mut Vec<u8>) { let t = stamp(); out.write_all(&t.to_le_bytes()).ok(); }\n",
+        );
+        assert_eq!(stats.tainted_functions, 2, "{stats:?}");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "determinism-flow");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("wallclock"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("`emit`"));
+        assert!(diags[0].message.contains("`stamp` reads"));
+    }
+
+    #[test]
+    fn untainted_sinks_are_clean() {
+        let (_, diags, _) = run(
+            "pub fn emit(out: &mut Vec<u8>, x: u64) { out.write_all(&x.to_le_bytes()).ok(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn discarded_fetch_result_is_not_a_source() {
+        let (stats, _, _) = run(
+            "use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n\
+             fn take(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) }\n\
+             fn assign(c: &AtomicU64) { let _x = c.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        // `bump` drops the value; `take` and `assign` observe it.
+        assert_eq!(stats.taint_sources, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn sanitize_stops_propagation_and_is_counted() {
+        let (stats, diags, supp) = run(
+            "use std::time::Instant;\n\
+             fn stamp() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             // nmt-lint: sanitize(determinism-flow) — buckets are sorted, timings quantized away\n\
+             fn normalize() -> u64 { stamp(); 0 }\n\
+             pub fn emit(out: &mut Vec<u8>) { let t = normalize(); out.write_all(&t.to_le_bytes()).ok(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.sanitizers, 1);
+        assert_eq!(supp.len(), 1);
+        assert!(supp[0].rule.contains("sanitize"));
+    }
+
+    #[test]
+    fn allow_on_sink_suppresses_and_unused_allow_warns() {
+        let (_, diags, supp) = run(
+            "use std::time::Instant;\n\
+             fn stamp() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             pub fn emit(out: &mut Vec<u8>) {\n\
+                 let t = stamp();\n\
+                 // nmt-lint: allow(determinism-flow) — timing header is a measurement by design\n\
+                 out.write_all(&t.to_le_bytes()).ok();\n\
+             }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(supp.len(), 1);
+
+        let (_, diags, _) = run(
+            "// nmt-lint: allow(determinism-flow) — nothing here\n\
+             pub fn quiet() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn env_and_thread_and_map_sources_are_seen() {
+        let (stats, _, _) = run(
+            "fn a() -> String { std::env::var(\"X\").unwrap_or_default() }\n\
+             fn b() { let _ = std::thread::current(); }\n\
+             fn c() { use std::collections::HashMap; let _m: HashMap<u8, u8>; }\n",
+        );
+        // `HashMap` counts at both mentions inside `c`.
+        assert_eq!(stats.taint_sources, 4, "{stats:?}");
+        assert_eq!(stats.tainted_functions, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn binaries_and_tests_do_not_sink() {
+        let (_, diags, _) = analyze_crate(
+            "t",
+            &[FileInput {
+                rel: "src/bin/tool.rs".to_string(),
+                src: "use std::time::Instant;\n\
+                      fn stamp() -> u128 { Instant::now().elapsed().as_nanos() }\n\
+                      pub fn report() { println!(\"{}\", stamp()); }\n"
+                    .to_string(),
+                class: FileClass::default(), // panic_checked = false
+            }],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -21,7 +21,15 @@
 //! shared across worker threads; both types are const-constructible.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+
+// Under `--cfg loom` the shared pool's lock comes from the loom shim so
+// the model checker can explore take/put/poison interleavings; the shim
+// mirrors std's API (const `new`, `LockResult`, poisoning), so nothing
+// else changes.
+#[cfg(loom)]
+use loom::sync::{Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Mutex, MutexGuard};
 
 /// Default cap on idle buffers retained per pool. Beyond this, `put`
 /// drops the buffer instead of shelving it, bounding idle memory for
@@ -192,8 +200,21 @@ impl<T> SharedSlicePool<T> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, SlicePool<T>> {
+    fn lock(&self) -> MutexGuard<'_, SlicePool<T>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Model-only: poison the inner lock by panicking while holding it.
+    /// No pool method panics, so poisoning is unreachable through the
+    /// public API — the loom model uses this to prove the documented
+    /// "recover by taking the inner value" claim actually holds.
+    #[cfg(loom)]
+    pub fn poison_for_model(&self) {
+        let _guard = self.inner.lock();
+        // nmt-lint: allow(panic) — panicking while holding the lock IS
+        //   this hook's purpose: it forces poisoning so the model can
+        //   prove recovery.
+        panic!("loom model: poisoning the pool lock");
     }
 
     /// See [`SlicePool::take`].

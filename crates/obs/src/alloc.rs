@@ -48,12 +48,21 @@ thread_local! {
 /// Turn allocation counting on or off process-wide. Returns the previous
 /// state so callers can restore it.
 pub fn enable_counting(on: bool) -> bool {
-    COUNTING.swap(on, Ordering::Relaxed)
+    // ordering: AcqRel — the gate flip publishes the measurement-window
+    // boundary: a thread that observes `on` via the Acquire load in
+    // `counting_enabled` must also observe everything the enabling
+    // thread set up before the flip, and the returned previous state
+    // orders restore-to-previous sequences.
+    COUNTING.swap(on, Ordering::AcqRel)
 }
 
 /// Whether allocation counting is currently enabled.
 pub fn counting_enabled() -> bool {
-    COUNTING.load(Ordering::Relaxed)
+    // ordering: Acquire — pairs with the AcqRel swap in
+    // `enable_counting`; callers begin alloc-measurement scopes only
+    // after observing the gate, so the scope cannot start before the
+    // window the enabler opened.
+    COUNTING.load(Ordering::Acquire)
 }
 
 /// This thread's running totals since it first allocated with counting
@@ -68,7 +77,10 @@ pub fn thread_totals() -> (u64, u64) {
 /// [`thread_totals`]. Use for measurements spanning a parallel region.
 pub fn process_totals() -> (u64, u64) {
     (
+        // ordering: monotone counter snapshots; callers diff totals
+        // across a join/barrier, which supplies the happens-before.
         PROC_COUNT.load(Ordering::Relaxed),
+        // ordering: monotone counter snapshot, as above.
         PROC_BYTES.load(Ordering::Relaxed),
     )
 }
@@ -76,7 +88,11 @@ pub fn process_totals() -> (u64, u64) {
 fn record(bytes: usize) {
     ALLOC_COUNT.with(|c| c.set(c.get() + 1));
     ALLOC_BYTES.with(|b| b.set(b.get() + bytes as u64));
+    // ordering: monotone counter bumps whose values are never observed
+    // here; cross-thread visibility rides the join/barrier the reader
+    // diffs across.
     PROC_COUNT.fetch_add(1, Ordering::Relaxed);
+    // ordering: monotone counter bump, as above.
     PROC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
 }
 
@@ -90,8 +106,17 @@ pub struct CountingAlloc;
 // `GlobalAlloc` contract; the bookkeeping touches only `Cell`s in this
 // thread's TLS (const-init, so no allocation during TLS setup) and never
 // allocates itself.
+// The three gate loads below are deliberately `Relaxed` even though the
+// gate is not a counter: this is the allocator hot path, hit on every
+// allocation in the process, and an Acquire here would fence them all.
+// The gate is advisory — an allocation racing the flip may or may not be
+// counted, and the measurement scopes (`AllocScope`, process-total
+// diffs) bracket their windows with the AcqRel swap plus a join/barrier,
+// which supplies the real ordering.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // nmt-lint: allow(atomic-ordering) — advisory gate load on the
+        //   allocator hot path; see the block comment above the impl
         if COUNTING.load(Ordering::Relaxed) {
             record(layout.size());
         }
@@ -103,6 +128,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // nmt-lint: allow(atomic-ordering) — advisory gate load on the
+        //   allocator hot path; see the block comment above the impl
         if COUNTING.load(Ordering::Relaxed) {
             record(layout.size());
         }
@@ -110,6 +137,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // nmt-lint: allow(atomic-ordering) — advisory gate load on the
+        //   allocator hot path; see the block comment above the impl
         if COUNTING.load(Ordering::Relaxed) {
             // Count the growth only: a shrinking realloc moves no new bytes.
             record(new_size.saturating_sub(layout.size()));

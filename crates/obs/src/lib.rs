@@ -25,6 +25,7 @@ pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod span;
+pub(crate) mod sync;
 
 pub use alloc::{AllocScope, CountingAlloc};
 pub use export::{

@@ -32,8 +32,9 @@ use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Once, PoisonError, Weak};
+use std::sync::{Arc, Once, PoisonError, Weak};
 
 /// Where in the stack a flight-recorder event was emitted. The numeric
 /// code ([`EventSite::stable_code`]) and the kebab-case name are stable
@@ -250,6 +251,8 @@ impl FlightRecorder {
     /// (0 = disabled: `record` becomes a no-op).
     pub fn with_capacity(capacity: usize) -> Self {
         FlightRecorder {
+            // ordering: monotone uid counter — only uniqueness matters,
+            // no other data is published through it.
             uid: NEXT_FLIGHT_UID.fetch_add(1, Ordering::Relaxed),
             capacity,
             clock: span::Recorder::with_capacity(0),
@@ -674,8 +677,14 @@ pub fn write_bundle_file(
     ns: u64,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
+    // ordering: monotone sequence counter — it only namespaces the file
+    // name so concurrent writers never clobber each other.
     let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
     let path = dir.join(format!("nmt-diag-{}-{seq}-{ns}.json", std::process::id()));
+    // nmt-lint: allow(determinism-flow) — the fetch_add above reaches this
+    //   sink only through the file *name* (pid + sequence + clock are
+    //   forensic identifiers by design); the bundle *bytes* are built from
+    //   content-ordered snapshots and stay byte-identical across runs.
     std::fs::write(&path, bundle.to_json())?;
     Ok(path)
 }

@@ -80,6 +80,8 @@ thread_local! {
 pub(crate) fn thread_id() -> u64 {
     THREAD_ID.with(|t| {
         if t.get() == 0 {
+            // ordering: monotone id counter — only uniqueness matters;
+            // the id publishes no other data.
             t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
         }
         t.get()

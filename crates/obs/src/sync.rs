@@ -1,0 +1,15 @@
+//! Synchronization facade: std by default, the loom shim under
+//! `--cfg loom` so the flight-recorder model (`tests/loom_recorder.rs`)
+//! can explore lock interleavings. The shim mirrors std's mutex API —
+//! const `new`, `LockResult`, poisoning — so callers are oblivious.
+//!
+//! Only the mutexes are switched. The crate's atomics stay on std even
+//! under loom: they are either monotone counters (uid/tid allocation)
+//! or the allocator gate, none of which carry cross-thread invariants
+//! the ring model checks, and leaving them un-instrumented keeps the
+//! model's interleaving space small enough for exhaustive exploration.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;

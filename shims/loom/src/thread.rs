@@ -1,0 +1,47 @@
+//! Model-thread spawning. Each `loom::thread::spawn` creates a real OS
+//! thread registered with the scheduler; it first parks until the
+//! explorer schedules it, and a drop guard reports completion even if
+//! the closure panics (so joiners wake and poisoned locks recover).
+
+use crate::sched;
+
+/// Handle to a model thread. [`JoinHandle::join`] blocks through the
+/// scheduler, then surfaces the closure's result (or panic payload)
+/// exactly like `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    id: usize,
+    inner: std::thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        sched::join_wait(self.id);
+        self.inner.join()
+    }
+}
+
+/// Spawn a model thread. The spawner immediately passes a scheduling
+/// point, so "child runs first" interleavings are explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let id = sched::register();
+    let inner = std::thread::Builder::new()
+        .name(format!("loom-w{id}"))
+        .spawn(move || {
+            let _fin = sched::FinishGuard(id);
+            sched::enter_thread(id);
+            f()
+        })
+        .expect("loom: spawning a model thread failed");
+    sched::point();
+    JoinHandle { id, inner }
+}
+
+/// Voluntary scheduling point.
+pub fn yield_now() {
+    sched::point();
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the determinism dataflow pass (`cargo xtask
+//! analyze`) over the seeded fixtures in `tests/analyze_fixtures/`.
+//!
+//! The contract mirrored here is exactly what CI enforces:
+//!   * the seeded bad fixture must FAIL with `determinism-flow` findings
+//!     whose messages spell out the full source→…→sink chain;
+//!   * the clean fixture must pass with its sanitize directive counted;
+//!   * the live workspace must analyze with zero errors.
+
+use std::path::{Path, PathBuf};
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from("tests/analyze_fixtures").join(name)
+}
+
+#[test]
+fn seeded_bad_fixture_fails_with_full_chains() {
+    let report = nmt_lint::analyze_paths(root(), &[fixture("bad_determinism_flow.rs")])
+        .expect("fixture analyzes");
+    assert!(
+        report.failed(false),
+        "seeded fixture must fail even without --deny-warnings:\n{}",
+        report.render()
+    );
+
+    let flows: Vec<_> = report
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "determinism-flow")
+        .collect();
+    let mut lines: Vec<u32> = flows.iter().map(|d| d.line).collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![23, 31],
+        "expected the write_all and writeln! sinks:\n{}",
+        report.render()
+    );
+
+    // Flow 1: wall clock -> stamp_ns -> ledger_row -> write_ledger sink.
+    let ledger = flows.iter().find(|d| d.line == 23).unwrap();
+    assert_eq!(ledger.severity, nmt_lint::Severity::Error);
+    for hop in ["write_ledger", "ledger_row", "stamp_ns", "wallclock"] {
+        assert!(
+            ledger.message.contains(hop),
+            "chain should mention {hop}: {}",
+            ledger.message
+        );
+    }
+
+    // Flow 2: HashMap iteration directly inside the sink's function.
+    let counts = flows.iter().find(|d| d.line == 31).unwrap();
+    for hop in ["dump_counts", "unordered-iter", "HashMap"] {
+        assert!(
+            counts.message.contains(hop),
+            "chain should mention {hop}: {}",
+            counts.message
+        );
+    }
+
+    // Stats see both flows: sources (Instant + elapsed + HashMap),
+    // the four tainted fns, and both sink sites.
+    let stats = &report.crates[0];
+    assert_eq!(stats.name, "analyze_fixtures");
+    assert_eq!(stats.taint_sources, 3, "{stats:?}");
+    assert_eq!(stats.tainted_functions, 4, "{stats:?}");
+    assert_eq!(stats.sink_sites, 2, "{stats:?}");
+    assert_eq!(stats.sanitizers, 0, "{stats:?}");
+}
+
+#[test]
+fn clean_fixture_passes_and_counts_its_sanitizer() {
+    let report = nmt_lint::analyze_paths(root(), &[fixture("clean_flow.rs")])
+        .expect("fixture analyzes");
+    assert!(
+        !report.failed(true),
+        "clean fixture must pass under --deny-warnings:\n{}",
+        report.render()
+    );
+    assert!(report.report.diagnostics.is_empty(), "{}", report.render());
+
+    // The env read exists as a source, but the sanitize directive cuts
+    // the flow before either sink — and is recorded as used.
+    let stats = &report.crates[0];
+    assert_eq!(stats.sanitizers, 1, "{stats:?}");
+    assert!(stats.taint_sources >= 1, "{stats:?}");
+    assert_eq!(report.report.suppressions.len(), 1);
+    let supp = &report.report.suppressions[0];
+    assert_eq!(supp.rule, "determinism-flow (sanitize)");
+    assert!(
+        supp.reason.contains("configuration input"),
+        "sanitize reason should survive into the record: {supp:?}"
+    );
+}
+
+#[test]
+fn fixture_directory_as_a_whole_fails() {
+    // The CI analyze leg points the tool at the directory; one bad file
+    // must be enough to fail the run.
+    let report = nmt_lint::analyze_paths(root(), &[PathBuf::from("tests/analyze_fixtures")])
+        .expect("directory analyzes");
+    assert!(report.failed(false));
+    assert_eq!(report.report.summary.files_scanned, 2);
+}
+
+#[test]
+fn analyze_report_json_is_versioned() {
+    let report = nmt_lint::analyze_paths(root(), &[fixture("clean_flow.rs")])
+        .expect("fixture analyzes");
+    assert_eq!(report.schema_version, nmt_lint::ANALYZE_SCHEMA_VERSION);
+    let json = report.to_json();
+    for key in ["schema_version", "crates", "taint_sources", "summary"] {
+        assert!(json.contains(key), "JSON artifact missing `{key}`");
+    }
+}
+
+#[test]
+fn workspace_analyzes_clean() {
+    let report = nmt_lint::analyze_workspace(root()).expect("workspace analyzes");
+    assert_eq!(
+        report.report.summary.errors,
+        0,
+        "workspace has determinism-flow/atomic-ordering errors:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.report.summary.warnings,
+        0,
+        "workspace analyze warnings (stale directives?):\n{}",
+        report.render()
+    );
+    // The audit left a small, known set of reasoned suppressions; a
+    // sudden jump means someone is papering over findings.
+    assert!(
+        report.report.suppressions.len() <= 10,
+        "suppression creep: {:#?}",
+        report.report.suppressions
+    );
+}
+
+#[test]
+fn design_doc_rule_table_matches_rule_info() {
+    // Satellite: DESIGN.md §6d is generated from `rule_info()` via
+    // `cargo xtask lint --rules-md --write`; this test fails on drift.
+    const START: &str = "<!-- nmt-lint:rules-table:start (generated; run `cargo xtask lint --rules-md --write`) -->";
+    const END: &str = "<!-- nmt-lint:rules-table:end -->";
+    let design = std::fs::read_to_string(root().join("DESIGN.md")).expect("DESIGN.md");
+    let start = design
+        .find(START)
+        .expect("DESIGN.md must carry the rules-table start marker");
+    let end = design
+        .find(END)
+        .expect("DESIGN.md must carry the rules-table end marker");
+    let between = &design[start + START.len()..end];
+    let expected = nmt_lint::rules_markdown();
+    assert_eq!(
+        between.trim(),
+        expected.trim(),
+        "DESIGN.md rule table is stale; run `cargo xtask lint --rules-md --write`"
+    );
+}

@@ -1,0 +1,33 @@
+//! Seeded fixture: nondeterminism flowing into serialized output.
+//! `cargo xtask analyze` over this file must exit nonzero — the CI
+//! analyze leg checks exactly that, and `tests/analyze.rs` pins the
+//! expected findings (rule, sink line, chain wording).
+//!
+//! Flow 1: a wall-clock read (`Instant::now`/`elapsed`) escapes through
+//! two helpers into a ledger write. Flow 2: `HashMap` iteration order
+//! escapes through a `writeln!` sink in the same function.
+
+use std::io::Write;
+
+fn stamp_ns() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+fn ledger_row(label: &str) -> String {
+    format!("{label},{}", stamp_ns())
+}
+
+pub fn write_ledger(out: &mut dyn Write) -> std::io::Result<()> {
+    let row = ledger_row("strip");
+    out.write_all(row.as_bytes()) // sink: tainted via ledger_row -> stamp_ns
+}
+
+pub fn dump_counts(out: &mut String) {
+    use std::fmt::Write as _;
+    let mut counts: std::collections::HashMap<String, u64> = Default::default();
+    counts.insert("strips".to_string(), 4);
+    for (key, value) in counts.iter() {
+        writeln!(out, "{key}={value}").ok(); // sink: unordered iteration
+    }
+}

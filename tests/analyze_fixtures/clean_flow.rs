@@ -1,0 +1,27 @@
+//! Fixture: expected to analyze clean. A nondeterministic read exists,
+//! but it is declared sanitized (explicit configuration input) before
+//! it reaches the sink, and the remaining sink takes only deterministic
+//! data — neither may produce a `determinism-flow` finding.
+
+// nmt-lint: sanitize(determinism-flow) — FIXTURE_SCALE is an explicit
+//   configuration input; the parsed value is recorded in the artifact
+//   header, so identical configurations serialize identically.
+fn configured_scale() -> usize {
+    match std::env::var("FIXTURE_SCALE") {
+        Ok(v) => v.len().max(1),
+        Err(_) => 1,
+    }
+}
+
+pub fn write_report(out: &mut String) {
+    use std::fmt::Write as _;
+    let scale = configured_scale();
+    writeln!(out, "scale={scale}").ok();
+}
+
+pub fn write_totals(out: &mut String, totals: &[(u32, u64)]) {
+    use std::fmt::Write as _;
+    for (key, value) in totals {
+        writeln!(out, "{key}={value}").ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: `atomic-ordering` requires a `// ordering:` justification on
+//! every atomic op in concurrency-scoped files (the `atomic_` name
+//! prefix stands in for the audited recorder/alloc/progress list), and
+//! reserves `Relaxed` for monotone counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump_unjustified() -> u64 {
+    EVENTS.fetch_add(1, Ordering::Relaxed) //~ ERROR atomic-ordering
+}
+
+pub fn relaxed_without_monotone() -> u64 {
+    // ordering: cheap and probably fine
+    EVENTS.load(Ordering::Relaxed) //~ ERROR atomic-ordering
+}
+
+pub fn empty_justification(v: u64) {
+    // ordering:
+    EVENTS.store(v, Ordering::Release); //~ ERROR atomic-ordering
+}
+
+pub fn justified_counter() -> u64 {
+    // ordering: monotone event counter; readers only ever diff
+    // snapshots across a join, which supplies the happens-before.
+    EVENTS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn justified_acquire() -> u64 {
+    // ordering: Acquire — pairs with the Release in `empty_justification`.
+    EVENTS.load(Ordering::Acquire)
+}
+
+pub fn same_named_method_is_not_atomic(cfg: &Config) -> Profile {
+    // A `load` whose arguments carry no `Ordering` variant is somebody
+    // else's method, not an atomic op; the rule must stay silent.
+    cfg.load("path/to/profile")
+}
+
+pub fn cmp_ordering_is_not_atomic(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

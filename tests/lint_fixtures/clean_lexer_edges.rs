@@ -1,0 +1,24 @@
+//! Fixture: expected to lint clean — raw strings, byte strings, and
+//! nested block comments. Everything below that *looks* like a rule
+//! trigger is literal or comment text the lexer must not tokenize.
+
+pub fn literal_soup() -> usize {
+    let raw = r#"std::time::Instant::now() and a HashMap full of panic!"#;
+    let nested_raw = r##"outer r#"inner"# still one literal"##;
+    let bytes: &[u8] = b"x.unwrap() and SystemTime::now()";
+    let byte_raw: &[u8] = br#"thread::current().id()"#;
+    /* A block comment:
+       /* with a nested block comment inside it */
+       std::time::Instant::now() stays commented out here, as does
+       data.expect("nope") and friends.
+    */
+    // A directive inside a string is data, not a directive:
+    let fake = "// nmt-lint: allow(panic) — not real";
+    raw.len() + nested_raw.len() + bytes.len() + byte_raw.len() + fake.len()
+}
+
+pub fn raw_identifiers_are_not_raw_strings(r#type: u32) -> u32 {
+    // `r#type` must lex as an identifier, not open a raw string that
+    // swallows the rest of the file.
+    r#type + 1
+}

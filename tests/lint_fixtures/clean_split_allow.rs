@@ -1,0 +1,11 @@
+//! Fixture: expected to lint clean — an allow directive whose reason
+//! continues across indented comment lines still anchors its
+//! suppression to the first code line after the continuation.
+
+pub fn timed_section() -> u64 {
+    // nmt-lint: allow(wallclock) — observability-only timing whose
+    //   justification deliberately spills onto continuation lines (each
+    //   indented by two spaces) to prove split reasons keep working.
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

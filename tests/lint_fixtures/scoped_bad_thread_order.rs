@@ -4,7 +4,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub fn tally(total: &AtomicU64, delta: u64) {
+    // Determinism-scoped files are also concurrency-scoped, so the bare
+    // Relaxed op trips `atomic-ordering` (no `// ordering:` comment) on
+    // top of `thread-order`.
     total.fetch_add(delta, Ordering::Relaxed); //~ ERROR thread-order
+    //~^ ERROR atomic-ordering
 }
 
 pub fn drain() {
