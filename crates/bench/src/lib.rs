@@ -11,6 +11,7 @@ pub mod harness;
 pub mod history;
 pub mod ledger;
 pub mod progress;
+pub mod serve_rows;
 
 pub use diff::{diff_ledgers, DiffOptions, DiffReport};
 pub use harness::{median, summarize, BenchConfig, BenchStats};
@@ -23,6 +24,9 @@ pub use ledger::{
     MatrixPerf, PerfSection, PerfTolerance, PhasePerf, LEDGER_SCHEMA_VERSION,
 };
 pub use progress::ProgressReporter;
+pub use serve_rows::{
+    append_serve_history, load_serve_history, render_serve_history, ServeRunRow,
+};
 
 /// The seed shared by every experiment so figures are reproducible.
 pub const EXPERIMENT_SEED: u64 = 0x5C19;

@@ -23,10 +23,13 @@
 //!   load-balancing scheme (§6.1, Fig 17).
 //! * [`farm`] — the parallel engine farm: per-partition converters running
 //!   rayon-parallel with a deterministic partition-ordered reduction.
+//! * [`artifact`] — reusable conversion artifacts: pre-converted operands
+//!   a serve-layer plan cache stores, byte-costed and pool-recyclable.
 
 #![warn(missing_docs)]
 
 pub mod area_energy;
+pub mod artifact;
 pub mod comparator;
 pub mod convert;
 pub mod farm;
@@ -36,6 +39,7 @@ pub mod placement;
 pub mod timing;
 
 pub use area_energy::{conversion_energy_pj, AreaEnergyModel};
+pub use artifact::ConversionArtifact;
 pub use comparator::{ComparatorError, ComparatorTree, MinResult, MinScratch, TreeStructure};
 pub use convert::{
     convert_matrix, convert_matrix_dcsc, convert_matrix_view, publish_conversion, ConversionStats,

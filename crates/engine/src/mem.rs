@@ -117,6 +117,19 @@ pub fn pool_stats() -> PoolStats {
     total
 }
 
+/// Total capacity (in elements) currently shelved idle across all engine
+/// pools — how much allocation the next conversion can avoid. Like
+/// [`pool_stats`], observability only: occupancy depends on schedule and
+/// must never be serialized into a gated artifact.
+pub fn pool_idle_capacity() -> usize {
+    IDX_POOL.idle_capacity()
+        + VAL_POOL.idle_capacity()
+        + PTR_POOL.idle_capacity()
+        + COORD_POOL.idle_capacity()
+        + TILES_POOL.idle_capacity()
+        + STATS_POOL.idle_capacity()
+}
+
 /// Drop every shelved buffer and zero the counters in all engine pools.
 ///
 /// Instrumented measurement passes call this first so their allocation

@@ -81,6 +81,22 @@ impl Corruption {
 /// typed [`FormatError`], never a panic.
 pub fn corrupt_csr(csr: &Csr, kind: Corruption) -> Option<Result<Csr, FormatError>> {
     let shape = csr.shape();
+    let (rowptr, colidx, values) = corrupt_csr_parts(csr, kind)?;
+    Some(Csr::new(shape.nrows, shape.ncols, rowptr, colidx, values))
+}
+
+/// The raw-array form of [`corrupt_csr`]: apply `kind` to a copy of
+/// `csr`'s arrays and return them *without* re-validating, as
+/// `(rowptr, colidx, values)`. Negative tests that must observe the
+/// corrupted content itself — e.g. proving a content fingerprint moves
+/// under every mutation even though the validating constructor would
+/// reject it — use this; [`corrupt_csr`] layers the constructor verdict
+/// on top.
+pub fn corrupt_csr_parts(
+    csr: &Csr,
+    kind: Corruption,
+) -> Option<(Vec<u32>, Vec<u32>, Vec<f32>)> {
+    let shape = csr.shape();
     let mut rowptr = csr.rowptr().to_vec();
     let mut colidx = csr.colidx().to_vec();
     let values = csr.values().to_vec();
@@ -103,7 +119,7 @@ pub fn corrupt_csr(csr: &Csr, kind: Corruption) -> Option<Result<Csr, FormatErro
             colidx[0] = shape.ncols as u32;
         }
     }
-    Some(Csr::new(shape.nrows, shape.ncols, rowptr, colidx, values))
+    Some((rowptr, colidx, values))
 }
 
 /// [`corrupt_csr`]'s column-major mirror for [`Csc`].

@@ -441,6 +441,13 @@ impl TiledDcsr {
         &self.strips
     }
 
+    /// Consume the tiling, returning the owned strips — the recycling
+    /// path: evicted conversion artifacts hand their tile buffers back
+    /// to the engine pools via `recycle_strips`.
+    pub fn into_strips(self) -> Vec<Vec<DcsrTile>> {
+        self.strips
+    }
+
     /// Tile width.
     pub fn tile_width(&self) -> usize {
         self.tile_w

@@ -50,6 +50,8 @@ pub const DETERMINISM_SCOPED: &[&str] = &[
     "crates/core/src/audit.rs",
     "crates/engine/src/farm.rs",
     "crates/fault/src/lib.rs",
+    "crates/serve/src/ledger.rs",
+    "crates/serve/src/trace.rs",
     "crates/sim/src/stats.rs",
 ];
 
@@ -89,6 +91,7 @@ pub const CONCURRENCY_SCOPED: &[&str] = &[
     "crates/obs/src/alloc.rs",
     "crates/obs/src/recorder.rs",
     "crates/obs/src/span.rs",
+    "crates/serve/src/cache.rs",
 ];
 
 /// Errors from driving the linter (I/O and path problems; findings are

@@ -203,7 +203,7 @@ pub fn parse_fns(tokens: &[Token]) -> Vec<FnItem> {
                 }
                 out.push(FnItem {
                     is_pub: fn_is_pub(tokens, i),
-                    in_test: ctxs.get(i).map(|c| c.in_test).unwrap_or(false),
+                    in_test: ctxs.get(i).is_some_and(|c| c.in_test),
                     line: tok.line,
                     name,
                     qual,

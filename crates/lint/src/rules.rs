@@ -516,7 +516,7 @@ impl FileCheck<'_> {
                          acquire/release ordering",
                         tok.text
                     ),
-                )
+                );
             }
             Some(_) => {}
         }

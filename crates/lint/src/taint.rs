@@ -90,7 +90,7 @@ pub fn scan_sources(tokens: &[Token], range: (usize, usize)) -> Vec<TaintSource>
             kind,
             line: t.line,
             what: t.text.clone(),
-        })
+        });
     };
     for i in start..end {
         let t = &tokens[i];
@@ -109,7 +109,7 @@ pub fn scan_sources(tokens: &[Token], range: (usize, usize)) -> Vec<TaintSource>
                     && tokens.get(i + 2).map(|n| n.is_punct(':')) == Some(true)
                     && tokens.get(i + 3).map(|n| n.is_ident("current")) == Some(true) =>
             {
-                push("thread-id", t)
+                push("thread-id", t);
             }
             "env"
                 if tokens.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
@@ -122,15 +122,17 @@ pub fn scan_sources(tokens: &[Token], range: (usize, usize)) -> Vec<TaintSource>
                         })
                         == Some(true) =>
             {
-                push("env-read", t)
+                push("env-read", t);
             }
-            name if name.starts_with("fetch_") && prev_dot && next_paren => {
-                if rmw_result_used(tokens, start, i) {
-                    push("atomic-rmw", t);
-                }
+            name if name.starts_with("fetch_")
+                && prev_dot
+                && next_paren
+                && rmw_result_used(tokens, start, i) =>
+            {
+                push("atomic-rmw", t);
             }
             name if name.starts_with("par_") && prev_dot && next_paren => {
-                push("parallel-iter", t)
+                push("parallel-iter", t);
             }
             _ => {}
         }
@@ -218,7 +220,7 @@ pub struct SinkSite {
 pub fn scan_sinks(tokens: &[Token], range: (usize, usize)) -> Vec<SinkSite> {
     call_sites(tokens, range)
         .into_iter()
-        .filter(|s| is_sink(s))
+        .filter(is_sink)
         .map(|s| SinkSite {
             name: s.callee,
             line: s.line,
@@ -343,7 +345,7 @@ pub fn analyze_crate(
             let lexed = lex(&f.src);
             AnalyzedFile {
                 rel: f.rel.clone(),
-                lines: f.src.lines().map(|l| l.to_string()).collect(),
+                lines: f.src.lines().map(ToString::to_string).collect(),
                 directives: allow_directives(&lexed.comments),
                 tokens: lexed.tokens,
                 class: f.class,

@@ -153,6 +153,17 @@ impl<T> SlicePool<T> {
         self.idle
     }
 
+    /// Total element capacity shelved across all buffers — the pool's
+    /// idle footprint in elements (multiply by `size_of::<T>()` for
+    /// bytes). Byte-budgeted consumers (the serve plan cache) publish
+    /// this as a gauge to attribute resident-but-idle memory.
+    pub fn idle_capacity(&self) -> usize {
+        self.shelves
+            .iter()
+            .map(|(cap, bufs)| cap * bufs.len())
+            .sum()
+    }
+
     /// Snapshot of the reuse counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
@@ -201,7 +212,10 @@ impl<T> SharedSlicePool<T> {
     }
 
     fn lock(&self) -> MutexGuard<'_, SlicePool<T>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     /// Model-only: poison the inner lock by panicking while holding it.
@@ -224,7 +238,7 @@ impl<T> SharedSlicePool<T> {
 
     /// See [`SlicePool::put`].
     pub fn put(&self, buf: Vec<T>) {
-        self.lock().put(buf)
+        self.lock().put(buf);
     }
 
     /// See [`SlicePool::stats`].
@@ -237,9 +251,14 @@ impl<T> SharedSlicePool<T> {
         self.lock().idle_len()
     }
 
+    /// See [`SlicePool::idle_capacity`].
+    pub fn idle_capacity(&self) -> usize {
+        self.lock().idle_capacity()
+    }
+
     /// See [`SlicePool::reset`].
     pub fn reset(&self) {
-        self.lock().reset()
+        self.lock().reset();
     }
 }
 
@@ -295,6 +314,19 @@ mod tests {
         assert_eq!(pool.idle_len(), 2);
         assert_eq!(pool.stats().reclaimed, 2);
         assert_eq!(pool.stats().evicted, 2);
+    }
+
+    #[test]
+    fn idle_capacity_tracks_shelved_footprint() {
+        let mut pool: SlicePool<u8> = SlicePool::new();
+        assert_eq!(pool.idle_capacity(), 0);
+        pool.put(Vec::with_capacity(4));
+        pool.put(Vec::with_capacity(16));
+        assert_eq!(pool.idle_capacity(), 20);
+        let _taken = pool.take(10); // pulls the 16-capacity shelf
+        assert_eq!(pool.idle_capacity(), 4);
+        pool.reset();
+        assert_eq!(pool.idle_capacity(), 0);
     }
 
     #[test]

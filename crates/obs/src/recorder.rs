@@ -75,11 +75,22 @@ pub enum EventSite {
     FaultPrefetchOverflow,
     /// Injected fault: DRAM latency spike. `a` = access ordinal.
     FaultDramLatencySpike,
+    /// Serve broker admission verdict for one request. `a` = request id;
+    /// `code` 0 = admitted, 1 = rejected (queue full), 2 = rejected
+    /// (malformed); `b` = queue depth at the verdict.
+    ServeAdmission,
+    /// Serve plan-cache resolution. `a` = request id;
+    /// `code` 0 = hit, 1 = computed (miss leader), 2 = waited on an
+    /// in-flight compute, 3 = evicted an entry; `b` = resident bytes.
+    ServePlanCache,
+    /// Serve response completion. `a` = request id, `b` = simulated
+    /// kernel ns; `code` 0 = cold plan, 1 = cached plan.
+    ServeResponse,
 }
 
 impl EventSite {
     /// Every site, in stable-code order (handy for tests and docs).
-    pub const ALL: [EventSite; 12] = [
+    pub const ALL: [EventSite; 15] = [
         EventSite::SweepMatrix,
         EventSite::PlannerPhase,
         EventSite::PlannerFallback,
@@ -92,6 +103,9 @@ impl EventSite {
         EventSite::FaultPartitionDropout,
         EventSite::FaultPrefetchOverflow,
         EventSite::FaultDramLatencySpike,
+        EventSite::ServeAdmission,
+        EventSite::ServePlanCache,
+        EventSite::ServeResponse,
     ];
 
     /// Stable numeric identity used as the primary merge-sort key.
@@ -109,6 +123,9 @@ impl EventSite {
             EventSite::FaultPartitionDropout => 10,
             EventSite::FaultPrefetchOverflow => 11,
             EventSite::FaultDramLatencySpike => 12,
+            EventSite::ServeAdmission => 13,
+            EventSite::ServePlanCache => 14,
+            EventSite::ServeResponse => 15,
         }
     }
 
@@ -127,6 +144,9 @@ impl EventSite {
             EventSite::FaultPartitionDropout => "fault-partition-dropout",
             EventSite::FaultPrefetchOverflow => "fault-prefetch-overflow",
             EventSite::FaultDramLatencySpike => "fault-dram-latency-spike",
+            EventSite::ServeAdmission => "serve-admission",
+            EventSite::ServePlanCache => "serve-plan-cache",
+            EventSite::ServeResponse => "serve-response",
         }
     }
 
@@ -143,6 +163,9 @@ impl EventSite {
             EventSite::FarmReduce | EventSite::KernelLaunch => "strips",
             EventSite::FaultPartitionDropout => "partition",
             EventSite::FaultPrefetchOverflow | EventSite::FaultDramLatencySpike => "access",
+            EventSite::ServeAdmission | EventSite::ServePlanCache | EventSite::ServeResponse => {
+                "request"
+            }
         }
     }
 

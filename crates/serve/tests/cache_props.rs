@@ -1,0 +1,151 @@
+//! Property tests for the serve-layer plan cache and its key.
+//!
+//! Three families, over arbitrary valid CSR matrices:
+//!
+//! 1. **Stability** — fingerprinting is a pure function of matrix
+//!    content and tile width: the same matrix always yields the same
+//!    cache key, and a deep copy yields the key of the original.
+//! 2. **Sensitivity** — every [`Corruption`] the formats crate can
+//!    express moves the raw-content digest, so no corrupted variant can
+//!    ever alias a healthy matrix's cached plan.
+//! 3. **Hit equivalence** — a plan served from the cache executes the
+//!    kernel bitwise-identically to the cold plan it was computed from:
+//!    same choice, same artifact kind, same simulated time, same output
+//!    matrix down to the f32 bit patterns.
+
+use std::sync::Arc;
+
+use nmt::{MatrixFingerprint, PlannerConfig, SpmmPlanner};
+use nmt_engine::artifact::ConversionArtifact;
+use nmt_formats::arbitrary::{corrupt_csr_parts, csr_strategy, Corruption};
+use nmt_formats::{Csr, SparseMatrix};
+use nmt_kernels::{bstat_tiled_dcsr_offline, dcsrmm_row_per_warp, KernelRun};
+use nmt_matgen::random_dense;
+use nmt_model::ssf::Choice;
+use nmt_serve::{CachedPlan, PlanCache};
+use nmt_sim::Gpu;
+use proptest::prelude::*;
+
+const TILE_W: usize = 8;
+
+/// Plan + convert `a` exactly as the broker's compute closure does.
+fn cold_plan(planner: &SpmmPlanner, a: &Csr) -> CachedPlan {
+    let cfg = planner.config();
+    let (_profile, choice) = planner.plan(a);
+    let artifact = match choice {
+        Choice::BStationary => {
+            ConversionArtifact::tiled(a, cfg.tile_w, cfg.tile_h).expect("valid tiling")
+        }
+        Choice::CStationary => ConversionArtifact::row_major(a),
+    };
+    CachedPlan { choice, artifact }
+}
+
+/// Run the dataflow-matched kernel for `plan` against a fixed dense B.
+fn execute(cfg: &PlannerConfig, plan: &CachedPlan, a: &Csr, b_seed: u64) -> KernelRun {
+    let b = random_dense(a.shape().ncols, 4, b_seed);
+    let mut gpu = Gpu::new(cfg.gpu.clone()).expect("gpu config");
+    match &plan.artifact {
+        ConversionArtifact::RowMajor(d) => dcsrmm_row_per_warp(&mut gpu, d, &b),
+        ConversionArtifact::Tiled(t) => bstat_tiled_dcsr_offline(&mut gpu, t, &b),
+    }
+    .expect("kernel run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same matrix, same tile width → same fingerprint and same key;
+    /// a reconstructed copy of the matrix keys identically.
+    #[test]
+    fn fingerprint_is_stable(a in csr_strategy()) {
+        let fp1 = MatrixFingerprint::of(&a, TILE_W);
+        let fp2 = MatrixFingerprint::of(&a, TILE_W);
+        prop_assert_eq!(fp1, fp2);
+        prop_assert_eq!(fp1.key(), fp2.key());
+
+        let shape = a.shape();
+        let copy = Csr::new(
+            shape.nrows,
+            shape.ncols,
+            a.rowptr().to_vec(),
+            a.colidx().to_vec(),
+            a.values().to_vec(),
+        )
+        .expect("copy of a valid matrix is valid");
+        prop_assert_eq!(MatrixFingerprint::of(&copy, TILE_W).key(), fp1.key());
+    }
+
+    /// Every expressible corruption moves the raw-content digest, so a
+    /// corrupted matrix can never alias a healthy matrix's cache entry.
+    #[test]
+    fn fingerprint_separates_every_corruption(a in csr_strategy()) {
+        let shape = a.shape();
+        let clean = MatrixFingerprint::of_parts(
+            shape.nrows,
+            shape.ncols,
+            TILE_W,
+            a.rowptr(),
+            a.colidx(),
+            a.values(),
+        );
+        for kind in Corruption::ALL {
+            // None = matrix too small to express this corruption.
+            if let Some((rowptr, colidx, values)) = corrupt_csr_parts(&a, kind) {
+                let bent = MatrixFingerprint::of_parts(
+                    shape.nrows,
+                    shape.ncols,
+                    TILE_W,
+                    &rowptr,
+                    &colidx,
+                    &values,
+                );
+                prop_assert!(
+                    bent.digest != clean.digest,
+                    "corruption {:?} left the digest unchanged",
+                    kind
+                );
+            }
+        }
+    }
+
+    /// A cache hit executes bitwise-identically to the cold plan: the
+    /// hit returns the very same artifact, and replaying the kernel on
+    /// it reproduces the cold run's output and simulated time exactly.
+    #[test]
+    fn cache_hit_executes_bitwise_identically(a in csr_strategy(), b_seed in 0u64..1024) {
+        let mut config = PlannerConfig::test_small();
+        config.tile_w = TILE_W;
+        config.tile_h = TILE_W;
+        let planner = SpmmPlanner::new(config);
+        let key = MatrixFingerprint::of(&a, TILE_W).key();
+
+        let cache: PlanCache<CachedPlan> = PlanCache::new(64 << 20);
+        let cold = cache
+            .get_or_compute(&key, || -> Result<(CachedPlan, u64), String> {
+                let plan = cold_plan(&planner, &a);
+                let bytes = plan.artifact.storage_bytes() as u64;
+                Ok((plan, bytes))
+            })
+            .expect("cold compute");
+        let hit = cache
+            .get_or_compute(&key, || -> Result<(CachedPlan, u64), String> {
+                panic!("second lookup of the same key must not recompute")
+            })
+            .expect("warm lookup");
+        prop_assert!(Arc::ptr_eq(&cold.value, &hit.value), "hit returns the cached artifact");
+
+        let cfg = planner.config();
+        let first = execute(cfg, &cold.value, &a, b_seed);
+        let second = execute(cfg, &hit.value, &a, b_seed);
+        prop_assert_eq!(second.c.as_slice(), first.c.as_slice());
+        prop_assert_eq!(second.stats.total_ns.to_bits(), first.stats.total_ns.to_bits());
+
+        // And against a from-scratch plan (no cache at all): the cached
+        // artifact is not just self-consistent but equal to recomputing.
+        let fresh = cold_plan(&planner, &a);
+        prop_assert_eq!(fresh.choice, cold.value.choice);
+        let third = execute(cfg, &fresh, &a, b_seed);
+        prop_assert_eq!(third.c.as_slice(), first.c.as_slice());
+    }
+}

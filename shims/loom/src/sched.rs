@@ -330,8 +330,8 @@ fn run_one(
     // execution's state reset would strand them on the condvar.
     {
         let mut s = st();
-        while !s.done
-            && !(s.failed.is_some() && s.threads.iter().all(|t| *t == Status::Finished))
+        while !(s.done
+            || (s.failed.is_some() && s.threads.iter().all(|t| *t == Status::Finished)))
         {
             s = CV.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
@@ -361,7 +361,7 @@ pub fn model<F>(f: F)
 where
     F: Fn() + Send + Sync + 'static,
 {
-    model_bounded(None, f)
+    model_bounded(None, f);
 }
 
 pub(crate) fn model_bounded<F>(bound: Option<usize>, f: F)

@@ -34,6 +34,8 @@ pub struct Mutex<T> {
 #[derive(Debug)]
 pub struct MutexGuard<'a, T> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// The owning mutex, so [`Condvar::wait`] can re-acquire after waking.
+    lock: &'a Mutex<T>,
     res: usize,
 }
 
@@ -60,12 +62,14 @@ impl<T> Mutex<T> {
                 Ok(g) => {
                     return Ok(MutexGuard {
                         inner: Some(g),
+                        lock: self,
                         res: self.res(),
                     })
                 }
                 Err(TryLockError::Poisoned(p)) => {
                     return Err(PoisonError::new(MutexGuard {
                         inner: Some(p.into_inner()),
+                        lock: self,
                         res: self.res(),
                     }))
                 }
@@ -80,11 +84,13 @@ impl<T> Mutex<T> {
         match self.inner.try_lock() {
             Ok(g) => Ok(MutexGuard {
                 inner: Some(g),
+                lock: self,
                 res: self.res(),
             }),
             Err(TryLockError::Poisoned(p)) => {
                 Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
                     inner: Some(p.into_inner()),
+                    lock: self,
                     res: self.res(),
                 })))
             }
@@ -103,6 +109,67 @@ impl<T> Deref for MutexGuard<'_, T> {
 impl<T> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+/// A `const`-constructible condition variable whose wait/notify run
+/// through the scheduler.
+///
+/// `wait` releases the guard's mutex and blocks on the condvar's address
+/// *without an intervening scheduling point*: [`sched::unblock`] marks
+/// mutex waiters runnable but keeps the token, and [`sched::block_on`]
+/// is the next hand-off, so no other model thread can run (and notify)
+/// between the release and the block — the atomic release-and-sleep that
+/// real condvars guarantee. `notify_all`/`notify_one` mark every waiter
+/// runnable (a conservative over-approximation of `notify_one`; callers
+/// must re-check their condition in a loop, which spurious-wakeup-safe
+/// code does anyway). Outside a model, `block_on` degrades to an OS
+/// yield, so `wait` returns spuriously and the caller's re-check loop
+/// spins — acceptable for non-model `cfg(loom)` builds.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    _private: (),
+}
+
+impl Condvar {
+    /// A new condvar (usable in `static`s).
+    pub const fn new() -> Self {
+        Condvar { _private: () }
+    }
+
+    /// The scheduler resource key for this condvar: its address.
+    fn res(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Atomically release `guard`'s mutex and block until a notify (or a
+    /// spurious wakeup outside a model), then re-acquire. Mirrors
+    /// `std::sync::Condvar::wait`, including the poison contract on
+    /// re-acquisition.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let mutex_res = guard.res;
+        // Release the real mutex and wake its waiters, but do NOT yield:
+        // the very next scheduling transition must be our own block, or a
+        // notifier could fire while we are still runnable (lost wakeup).
+        drop(guard.inner.take());
+        std::mem::forget(guard);
+        sched::unblock(mutex_res);
+        sched::block_on(self.res());
+        lock.lock()
+    }
+
+    /// Wake one waiter. The shim wakes all (see type docs); condition
+    /// re-check loops make that indistinguishable up to scheduling.
+    pub fn notify_one(&self) {
+        sched::unblock(self.res());
+        sched::point();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        sched::unblock(self.res());
+        sched::point();
     }
 }
 
@@ -230,7 +297,7 @@ pub mod atomic {
 
         pub fn store(&self, v: bool, _order: Ordering) {
             sched::point();
-            self.inner.store(v, SeqCst)
+            self.inner.store(v, SeqCst);
         }
 
         pub fn swap(&self, v: bool, _order: Ordering) -> bool {

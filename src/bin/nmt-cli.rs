@@ -16,6 +16,12 @@
 //!                 [--perf] [--perf-iters N] [--perf-warmup N] [--perf-margin F] [--alloc-margin F]
 //!                 [--progress] [--fault-seed N [--fault-rate F]]
 //!                 [--history <HISTORY.jsonl>] [--diag-dir <dir>]
+//! nmt-cli serve   [--requests <trace.jsonl> | --synth N] [--threads N]
+//!                 [--matrices N] [--tenants N] [--seed N] [--k N] [--tile N]
+//!                 [--queue-depth N] [--quantum N] [--service-rate N]
+//!                 [--cache-bytes N] [--stats] [--out <SERVE.json>]
+//!                 [--baseline <SERVE.json>] [--trace-out <trace.jsonl>]
+//!                 [--history <SERVE_HISTORY.jsonl>] [--diag-dir <dir>]
 //! nmt-cli doctor  <nmt-diag-*.json>
 //! nmt-cli diff    <ledger-A.json> <ledger-B.json> [--json]
 //!                 [--diff-margin F] [--diff-slack-ns NS]
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         "spmm" => cmd_spmm(&rest),
         "audit" => cmd_audit(&rest),
         "bench" => cmd_bench(&rest),
+        "serve" => cmd_serve(&rest),
         "doctor" => cmd_doctor(&rest),
         "diff" => cmd_diff(&rest),
         "history" => cmd_history(&rest),
@@ -155,6 +162,33 @@ USAGE:
   fall back per-matrix to the untiled C-stationary kernel (audited as
   degraded mode), memory faults perturb timing only. Same seed, same
   faults — at any thread count.
+  nmt-cli serve   [--requests <trace.jsonl> | --synth N] [--threads N]
+                  [--matrices N] [--tenants N] [--seed N] [--k N] [--tile N]
+                  [--queue-depth N] [--quantum N] [--service-rate N]
+                  [--cache-bytes N] [--stats] [--out <SERVE.json>]
+                  [--baseline <SERVE.json>] [--trace-out <trace.jsonl>]
+                  [--history <SERVE_HISTORY.jsonl>] [--diag-dir <dir>]
+                                          replay an SpMM request trace
+                                          through the service broker:
+                                          single-flight plan cache,
+                                          bounded admission queue, DRR
+                                          tenant fairness. --requests
+                                          replays a JSONL trace; --synth N
+                                          generates a seeded N-request
+                                          schedule over --matrices distinct
+                                          matrices (and --trace-out saves
+                                          it for exact replay elsewhere).
+                                          The response ledger is byte-
+                                          identical at any --threads;
+                                          --baseline gates against a saved
+                                          ledger and fails on any drift.
+                                          --stats appends the schedule-
+                                          dependent measurement section
+                                          (cache hit/wait split, hit-vs-
+                                          miss latency + alloc medians) —
+                                          excluded from the gate either
+                                          way. --history appends one
+                                          summary row to a JSONL timeline
   nmt-cli doctor  <nmt-diag-*.json>       render a crash bundle as a
                                           human-readable post-mortem:
                                           failing site, strip/partition,
@@ -571,6 +605,121 @@ fn cmd_bench(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `nmt-cli serve`: replay an SpMM request trace through the service
+/// broker (single-flight plan cache + admission control) and emit the
+/// deterministic response ledger.
+fn cmd_serve(rest: &[&String]) -> Result<(), String> {
+    use spmm_nmt::bench::{append_serve_history, ServeRunRow};
+    use spmm_nmt::serve::{
+        parse_jsonl, serve_trace, synth_trace, to_jsonl, BrokerConfig, ServeLedger, SynthSpec,
+    };
+
+    init_threads(rest)?;
+    let with_stats = rest.iter().any(|x| x.as_str() == "--stats");
+    if with_stats {
+        // Hit-vs-miss allocation medians need live thread-local counters.
+        spmm_nmt::obs::alloc::enable_counting(true);
+    }
+    // Same contract as `bench`: --diag-dir (or NMT_DIAG_DIR) arms the
+    // panic hook so a replay crash or gate failure leaves a bundle.
+    if let Some(dir) = flag(rest, "--diag-dir").or_else(|| std::env::var("NMT_DIAG_DIR").ok()) {
+        install_diagnostics(dir.as_str(), &ObsContext::disabled(), None, None);
+        eprintln!("crash diagnostics armed: bundles land in {dir}");
+    }
+
+    let trace = match (flag(rest, "--requests"), flag(rest, "--synth")) {
+        (Some(_), Some(_)) => {
+            return Err("--requests and --synth are mutually exclusive".into())
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+            parse_jsonl(&text)?
+        }
+        (None, synth) => {
+            let mut spec = SynthSpec::quick(parse_flag(rest, "--seed", 0x5E12_u64)?);
+            if let Some(n) = synth {
+                spec.requests = n
+                    .parse()
+                    .map_err(|_| format!("bad value {n:?} for --synth"))?;
+            }
+            spec.unique_matrices = parse_flag(rest, "--matrices", spec.unique_matrices)?;
+            spec.tenants = parse_flag(rest, "--tenants", spec.tenants)?;
+            spec.n = parse_flag(rest, "--n", spec.n)?;
+            spec.k = parse_flag(rest, "--k", spec.k)?;
+            if spec.requests == 0 || spec.unique_matrices == 0 || spec.tenants == 0 {
+                return Err("--synth, --matrices and --tenants must all be ≥ 1".into());
+            }
+            synth_trace(&spec)
+        }
+    };
+    if let Some(path) = flag(rest, "--trace-out") {
+        std::fs::write(&path, to_jsonl(&trace))
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("wrote {} requests to {path}", trace.len());
+    }
+
+    let tile: usize = parse_flag(rest, "--tile", 16)?;
+    if tile == 0 || tile > 64 {
+        return Err("--tile must be in 1..=64 (the engine is 64 lanes wide)".into());
+    }
+    let mut config = BrokerConfig::test_small();
+    config.planner.tile_w = tile;
+    config.planner.tile_h = tile;
+    config.queue_depth = parse_flag(rest, "--queue-depth", config.queue_depth)?;
+    config.quantum = parse_flag(rest, "--quantum", config.quantum)?;
+    config.service_rate = parse_flag(rest, "--service-rate", config.service_rate)?;
+    config.cache_budget_bytes = parse_flag(rest, "--cache-bytes", config.cache_budget_bytes)?;
+
+    let obs = ObsContext::enabled();
+    let ledger = serve_trace(&trace, &config, &obs, with_stats).map_err(|e| e.to_string())?;
+    print!("{}", ledger.render_summary());
+
+    if let Some(path) = flag(rest, "--out") {
+        std::fs::write(&path, ledger.to_json())
+            .map_err(|e| format!("cannot write serve ledger to {path}: {e}"))?;
+        eprintln!("wrote serve ledger to {path}");
+    }
+    if let Some(hist) = flag(rest, "--history") {
+        let commit = std::env::var("NMT_COMMIT")
+            .or_else(|_| std::env::var("GITHUB_SHA"))
+            .unwrap_or_else(|_| "unknown".to_string());
+        let c = &ledger.counts;
+        let s = ledger.stats.as_ref();
+        let row = ServeRunRow {
+            run: 0,
+            commit,
+            requests: c.requests,
+            admitted: c.admitted,
+            rejected: c.rejected_queue_full + c.rejected_malformed,
+            unique_plans: c.unique_plans,
+            cached_responses: c.cached_responses,
+            cache_hits: s.map_or(0, |s| s.cache_hits),
+            cache_evictions: s.map_or(0, |s| s.cache_evictions),
+            hit_p50_ns: s.map_or(0, |s| s.hit_p50_ns),
+            miss_p50_ns: s.map_or(0, |s| s.miss_p50_ns),
+        };
+        let run = append_serve_history(std::path::Path::new(&hist), row)?;
+        eprintln!("serve history: appended run {run} to {hist}");
+    }
+    if let Some(path) = flag(rest, "--baseline") {
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = ServeLedger::from_json(&json)?;
+        match ledger.gate(&baseline) {
+            Ok(()) => println!("serve gate: PASS vs {path}"),
+            Err(diffs) => {
+                for d in &diffs {
+                    eprintln!("serve gate: DIVERGENCE: {d}");
+                }
+                write_failure_bundle(&format!("serve gate failure vs {path}"));
+                return Err(format!("{} divergence(s) vs baseline {path}", diffs.len()));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// When `--diag-dir` armed diagnostics, capture a bundle for a
 /// non-panic failure (gate regressions) so CI uploads the same artifact
 /// either way. A no-op when diagnostics are not installed.
@@ -624,9 +773,19 @@ fn cmd_diff(rest: &[&String]) -> Result<(), String> {
 /// `nmt-cli history <HISTORY.jsonl>`: render the perf timeline and its
 /// change points.
 fn cmd_history(rest: &[&String]) -> Result<(), String> {
+    use spmm_nmt::bench::{load_serve_history, render_serve_history};
     let args = positionals(rest, &[]);
     let path = args.first().ok_or("missing <HISTORY.jsonl> argument")?;
     let records = load_history(std::path::Path::new(path.as_str()))?;
+    if records.is_empty() {
+        // Not a perf timeline — it may be a serve replay history
+        // (`serve --history`), whose rows the perf loader skips.
+        let serve = load_serve_history(std::path::Path::new(path.as_str()))?;
+        if !serve.is_empty() {
+            print!("{}", render_serve_history(&serve));
+            return Ok(());
+        }
+    }
     print!("{}", render_history(&records));
     Ok(())
 }

@@ -14,6 +14,8 @@
 //! * [`obs`] — spans, metric registry, Chrome-trace/JSONL export.
 //! * [`planner`] — the auto-tuned SpMM planner (core crate `nmt`).
 //! * [`bench`] — experiment harness: suite sweeps, run ledger, gate.
+//! * [`serve`] — SpMM-as-a-service broker: single-flight plan cache,
+//!   admission control, deterministic replay ledger.
 
 pub use nmt as planner;
 pub use nmt_bench as bench;
@@ -24,4 +26,5 @@ pub use nmt_kernels as kernels;
 pub use nmt_matgen as matgen;
 pub use nmt_model as model;
 pub use nmt_obs as obs;
+pub use nmt_serve as serve;
 pub use nmt_sim as sim;
